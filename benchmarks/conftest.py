@@ -1,0 +1,47 @@
+"""Benchmark configuration.
+
+Scale selection: set ``REPRO_SCALE=full`` to regenerate every figure at
+the paper's deployment sizes (270 nodes, 250 clients, 12.8 GB inputs);
+the default ``bench`` scale uses mid-size deployments that preserve
+every shape while keeping the whole suite to a few minutes.
+
+Each figure bench prints its regenerated table (compare against the
+paper per EXPERIMENTS.md) and asserts the shape criteria of DESIGN.md.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiments import FULL, Scale
+
+#: Mid-size sweeps: every mechanism active, minutes not hours.
+BENCH = Scale(
+    name="bench",
+    total_nodes=140,
+    fig3_blocks=(8, 32, 64, 128),
+    fig4_clients=(1, 25, 50, 100),
+    fig5_clients=(1, 25, 50, 100),
+    fig6a_mapper_mb=(128, 320, 800, 1600, 3200),
+    fig6a_total_mb=3200,
+    fig6a_workers=25,
+    fig6b_input_gb=(3.2, 4.8, 6.4),
+    fig6b_workers=75,
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The sweep scale for this benchmark session."""
+    name = os.environ.get("REPRO_SCALE", "bench").lower()
+    if name == "full":
+        return FULL
+    if name == "bench":
+        return BENCH
+    raise ValueError(f"REPRO_SCALE must be 'bench' or 'full', got {name!r}")
+
+
+def emit(text: str) -> None:
+    """Print a figure report so it lands in the benchmark log."""
+    print()
+    print(text)

@@ -1,0 +1,51 @@
+"""Ablation: replication level (paper §VI-B).
+
+A write fans each block out to ``replication`` providers, so write cost
+grows with the level while reads keep their throughput (and gain
+availability).  Measured on the simulated deployment.
+"""
+
+from conftest import emit
+
+from repro.deploy.deployment import deploy_microbench
+from repro.deploy.platform import DEFAULT_CALIBRATION
+from repro.util.bytesize import MB
+
+NODES = 60
+BLOCKS = 12
+
+
+def _write_time(replication: int) -> float:
+    deployment = deploy_microbench("bsfs", total_nodes=NODES)
+    engine = deployment.cluster.engine
+    storage = deployment.storage
+    cal = DEFAULT_CALIBRATION
+
+    def scenario():
+        yield from storage.create(deployment.dedicated_client, "f", replication=replication)
+        t0 = engine.now
+        for _ in range(BLOCKS):
+            yield from storage.append(
+                deployment.dedicated_client, "f", cal.block_size,
+                produce_rate=cal.client_stream_cap,
+                replication=replication,
+            )
+        return engine.now - t0
+
+    return engine.run(engine.process(scenario()))
+
+
+def test_ablation_replication_write_cost(benchmark):
+    def run():
+        return {r: _write_time(r) for r in (1, 2, 3)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    throughput = {r: BLOCKS * 64 / t for r, t in times.items()}
+    emit(
+        "Ablation — single-writer throughput (MB/s) by replication level:\n"
+        + "\n".join(f"  r={r}: {v:6.1f}" for r, v in throughput.items())
+    )
+    # More replicas -> more client egress traffic -> slower writes.
+    assert times[1] < times[2] < times[3]
+    # But not catastrophically: replicas fan out in parallel.
+    assert times[3] < 3.2 * times[1]

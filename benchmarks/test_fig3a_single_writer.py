@@ -1,0 +1,27 @@
+"""Figure 3(a): single writer, single file — throughput vs file size.
+
+Paper: BSFS sustains ~60-70 MB/s as the file grows to 16 GB; HDFS stays
+around 40-47 MB/s.  Criteria: BSFS wins at every size by ~1.4-1.8x and
+both curves are flat (no collapse with file size).
+"""
+
+from conftest import emit
+
+from repro.harness import figure_3a, render_figure
+
+
+def test_fig3a_single_writer(benchmark, scale):
+    result = benchmark.pedantic(figure_3a, args=(scale,), rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    bsfs, hdfs = result.ys("BSFS"), result.ys("HDFS")
+    # BSFS wins everywhere, within the paper's factor band.
+    for b, h in zip(bsfs, hdfs):
+        assert b > h
+        assert 1.3 < b / h < 2.2
+    # Sustained throughput: neither system collapses with file size.
+    assert min(bsfs) > 0.85 * max(bsfs)
+    assert min(hdfs) > 0.85 * max(hdfs)
+    # Absolute bands (calibrated): BSFS ~60-70, HDFS ~40-47.
+    assert 55 < bsfs[-1] < 75
+    assert 35 < hdfs[-1] < 50

@@ -1,0 +1,23 @@
+"""Figure 3(b): degree of unbalance (Manhattan distance to ideal layout).
+
+Paper: HDFS's layout distance grows steadily with file size (to ~450
+at 16 GB over ~267 datanodes); BSFS remains near-balanced (< 50).
+Criteria: HDFS grows, BSFS stays small and far below HDFS.
+"""
+
+from conftest import emit
+
+from repro.harness import figure_3b, render_figure
+
+
+def test_fig3b_load_balance(benchmark, scale):
+    result = benchmark.pedantic(figure_3b, args=(scale,), rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    bsfs, hdfs = result.ys("BSFS"), result.ys("HDFS")
+    # HDFS unbalance grows with the number of chunks.
+    assert hdfs[-1] > hdfs[0]
+    assert hdfs[-1] > 2 * bsfs[-1]
+    # BSFS round-robin keeps per-provider spread within one block, so
+    # its distance stays below the provider count at any size.
+    assert all(b <= scale.total_nodes for b in bsfs)

@@ -1,0 +1,28 @@
+"""Figure 4: concurrent readers of a shared file — per-client throughput.
+
+Paper: BSFS "is able to deliver the same throughput even when the
+number of clients increases" (flat near the single-client rate); HDFS
+degrades because readers pile onto the datanodes its skewed layout
+favoured.  Criteria: BSFS flat, HDFS clearly degrading, BSFS ahead at
+high concurrency.
+"""
+
+from conftest import emit
+
+from repro.harness import figure_4, render_figure
+
+
+def test_fig4_concurrent_reads(benchmark, scale):
+    result = benchmark.pedantic(figure_4, args=(scale,), rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    bsfs, hdfs = result.ys("BSFS"), result.ys("HDFS")
+    # BSFS: flat within 10% of its single-client rate.
+    assert min(bsfs) > 0.9 * max(bsfs)
+    # HDFS: degrades visibly as concurrency grows.
+    assert hdfs[-1] < 0.8 * hdfs[0]
+    # BSFS clearly ahead under heavy concurrency.
+    assert bsfs[-1] > 1.4 * hdfs[-1]
+    # Single-client rates are comparable (the gap is a concurrency
+    # phenomenon, not a constant offset).
+    assert abs(bsfs[0] - hdfs[0]) / bsfs[0] < 0.15

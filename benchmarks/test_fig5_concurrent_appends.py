@@ -1,0 +1,28 @@
+"""Figure 5: concurrent appenders to one file — aggregate throughput.
+
+Paper: BSFS's aggregated append throughput scales near-linearly with
+the number of clients (to ~10 GB/s at 250); HDFS cannot run the
+scenario at all.  Criteria: monotone growth, >= 75% parallel
+efficiency at the largest client count, HDFS refused.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.errors import AppendNotSupported
+from repro.harness import concurrent_appenders, figure_5, render_figure
+
+
+def test_fig5_concurrent_appends(benchmark, scale):
+    result = benchmark.pedantic(figure_5, args=(scale,), rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    points = sorted(result.series["BSFS"])
+    ys = [y for _, y in points]
+    assert all(b > a for a, b in zip(ys, ys[1:]))  # monotone growth
+    (x0, y0), (xn, yn) = points[0], points[-1]
+    assert (yn / xn) > 0.75 * (y0 / x0)  # near-linear scaling
+
+    # The HDFS side of the figure is its absence.
+    with pytest.raises(AppendNotSupported):
+        concurrent_appenders("hdfs", n_clients=2, total_nodes=30)

@@ -1,0 +1,25 @@
+"""Figure 6(a): RandomTextWriter job completion time.
+
+Paper: with total output fixed, BSFS completes the job 7% (many small
+mappers) to 11% (one big mapper) faster than HDFS.  Criteria: BSFS
+faster at every point, single-digit-to-low-teens gain, gain growing as
+mappers get fewer/larger.
+"""
+
+from conftest import emit
+
+from repro.harness import figure_6a, render_figure
+
+
+def test_fig6a_random_text_writer(benchmark, scale):
+    result = benchmark.pedantic(figure_6a, args=(scale,), rounds=1, iterations=1)
+    emit(render_figure(result))
+
+    bsfs, hdfs = result.ys("BSFS"), result.ys("HDFS")
+    gains = [(h - b) / h for b, h in zip(bsfs, hdfs)]
+    assert all(g > 0.02 for g in gains)  # BSFS meaningfully faster
+    assert all(g < 0.20 for g in gains)  # computation dominates (§V-G)
+    assert gains[-1] > gains[0]  # gap widens as mappers get larger
+    # Completion time grows with per-mapper data (fixed cluster).
+    assert bsfs[-1] > bsfs[0]
+    assert hdfs[-1] > hdfs[0]

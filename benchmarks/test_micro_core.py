@@ -1,0 +1,131 @@
+"""Core data-structure microbenchmarks (pytest-benchmark timings).
+
+Not figures from the paper — these time the hot paths of the
+implementation itself: segment-tree weaving and descent, version
+assignment, DHT lookups, placement, and the max-min fair solver.
+"""
+
+import numpy as np
+
+from repro.blob import (
+    BlockDescriptor,
+    LocalBlobStore,
+    NodeKey,
+    ProviderManagerCore,
+    VersionManagerCore,
+    build_patch,
+    collect_blocks,
+)
+from repro.dht import HashRing
+from repro.simulation import Engine, FlowNetwork
+
+BS = 64
+
+
+def _descriptor(version, nonce):
+    def make(index):
+        return BlockDescriptor(
+            blob_id="bench",
+            version=version,
+            index=index,
+            size=BS,
+            providers=("p",),
+            nonce=nonce,
+            seq=index,
+        )
+
+    return make
+
+
+class TestSegmentTree:
+    def test_build_patch_256_blocks(self, benchmark):
+        benchmark(
+            build_patch,
+            "bench", 1, 0, 256, 256, [], _descriptor(1, 1),
+        )
+
+    def test_build_patch_deep_history(self, benchmark):
+        history = [(v, v % 200, v % 200 + 4) for v in range(1, 250)]
+
+        def weave():
+            return build_patch(
+                "bench", 250, 100, 104, 256, history, _descriptor(250, 250)
+            )
+
+        benchmark(weave)
+
+    def test_descent_single_block_of_256(self, benchmark):
+        nodes = {}
+        for node in build_patch("bench", 1, 0, 256, 256, [], _descriptor(1, 1)):
+            nodes[node.key] = node
+        root = NodeKey("bench", 1, 0, 256)
+        benchmark(collect_blocks, nodes.__getitem__, root, 100, 101)
+
+
+class TestVersionManager:
+    def test_append_assignment_throughput(self, benchmark):
+        def assign_batch():
+            vm = VersionManagerCore()
+            vm.create_blob("b", block_size=BS)
+            for _ in range(500):
+                ticket = vm.assign_append("b", BS)
+                vm.commit("b", ticket.version)
+
+        benchmark(assign_batch)
+
+
+class TestDht:
+    def test_ring_lookup(self, benchmark):
+        ring = HashRing([f"mdp-{i}" for i in range(20)])
+        keys = [("blob", v, o, 1) for v in range(20) for o in range(50)]
+        benchmark(lambda: [ring.lookup(k) for k in keys])
+
+    def test_ring_replicas(self, benchmark):
+        ring = HashRing([f"mdp-{i}" for i in range(20)])
+        benchmark(lambda: [ring.replicas(i, 3) for i in range(500)])
+
+
+class TestPlacement:
+    def test_round_robin_allocation(self, benchmark):
+        def allocate():
+            pm = ProviderManagerCore(policy="round_robin")
+            for i in range(200):
+                pm.register(f"p{i}")
+            pm.allocate(1000, [BS] * 1000)
+
+        benchmark(allocate)
+
+
+class TestStoreEndToEnd:
+    def test_write_read_cycle(self, benchmark):
+        def cycle():
+            store = LocalBlobStore(
+                data_providers=8, metadata_providers=3, block_size=BS
+            )
+            blob = store.create()
+            for i in range(16):
+                store.append(blob, bytes([i]) * BS)
+            return store.read(blob)
+
+        result = benchmark(cycle)
+        assert len(result) == 16 * BS
+
+
+class TestFairShareSolver:
+    def test_recompute_200_flows(self, benchmark):
+        """Progressive filling with 200 concurrent flows (the Fig 4/5
+        solver load at high client counts)."""
+
+        def run_network():
+            engine = Engine()
+            net = FlowNetwork(engine, latency=0.0)
+            for i in range(100):
+                net.add_node(f"n{i}", egress=100.0, ingress=100.0)
+            events = [
+                net.transfer(f"n{i % 100}", f"n{(i * 37 + 1) % 100}", 50.0 + i)
+                for i in range(200)
+            ]
+            engine.run(engine.all_of(events))
+            return engine.now
+
+        benchmark(run_network)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Incremental reprocessing with snapshot diffs (paper §VI-A).
+
+"In many such scenarios, datasets are only locally altered from one
+Map/Reduce pass to another."  BlobSeer's versioned metadata makes the
+*locally* part queryable: :func:`repro.blob.changed_ranges` compares
+two snapshots' segment trees and returns exactly the block ranges that
+differ — without reading a byte of data.  A consumer job can then
+rescan only those ranges instead of the whole dataset.
+
+Run:  python examples/incremental_processing.py
+"""
+
+from repro.blob import LocalBlobStore, changed_ranges
+from repro.bsfs import BSFSFileSystem
+
+BS = 4096
+
+
+def count_needles(fs, path, version, offset=0, size=None):
+    """Scan (a slice of) one pinned snapshot for 'needle' lines."""
+    stream = fs.open(path, version=version)
+    if size is None:
+        size = stream.size - offset
+    return stream.pread(offset, size).count(b"needle")
+
+
+def main() -> None:
+    fs = BSFSFileSystem(
+        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+    )
+
+    # Pass 1: a large-ish dataset, scanned fully once.
+    body = (b"hay needle hay " * 53 + b"\n") * 60  # ~48 KB -> 12 blocks
+    fs.write_file("/data/corpus", body)
+    v1 = fs.file_versions("/data/corpus")
+    total = count_needles(fs, "/data/corpus", v1)
+    print(f"pass 1: full scan of {fs.status('/data/corpus').size} bytes, "
+          f"{total} needles")
+
+    # The dataset is *locally* altered: one interior block rewritten.
+    blob = fs.blob_of("/data/corpus")
+    patch = (b"needle " * BS)[:BS]  # exactly one block of needles
+    fs.store.write(blob, 5 * BS, patch)
+    v2 = fs.file_versions("/data/corpus")
+
+    # Pass 2: ask the metadata which ranges moved, rescan only those.
+    ranges = changed_ranges(fs.store, blob, v1, v2)
+    print(f"pass 2: metadata diff reports changed blocks {ranges}")
+    assert len(ranges) == 1 and ranges[0].blocks == 1
+
+    size_v2 = fs.store.snapshot(blob, v2).size
+    margin = len(b"needle") - 1  # tokens may straddle block boundaries
+    delta = 0
+    rescanned = 0
+    for rng in ranges:
+        offset, length = rng.to_bytes(BS, size_v2)
+        lo = max(0, offset - margin)
+        hi = min(size_v2, offset + length + margin)
+        old = count_needles(fs, "/data/corpus", v1, lo, hi - lo)
+        new = count_needles(fs, "/data/corpus", v2, lo, hi - lo)
+        delta += new - old
+        rescanned += hi - lo
+    incremental_total = total + delta
+
+    full_rescan = count_needles(fs, "/data/corpus", v2)
+    assert incremental_total == full_rescan
+    print(
+        f"pass 2: rescanned {rescanned} bytes instead of "
+        f"{size_v2} ({rescanned / size_v2:.0%}) and got the same answer: "
+        f"{incremental_total} needles"
+    )
+    print("\nincremental processing OK")
+
+
+if __name__ == "__main__":
+    main()

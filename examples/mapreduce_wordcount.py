@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""MapReduce on BSFS vs HDFS: same job, both backends, identical output.
+
+The paper's integration claim (§IV): Hadoop jobs run "out-of-the-box"
+when BSFS replaces HDFS.  This example runs WordCount — splits, locality
+scheduling, map, combine, shuffle, sort, reduce — against both file
+systems and compares results and map locality.
+
+Run:  python examples/mapreduce_wordcount.py
+"""
+
+from repro.blob import LocalBlobStore
+from repro.bsfs import BSFSFileSystem
+from repro.hdfs import HDFSFileSystem
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.apps import wordcount_job
+
+TEXT = (
+    b"the storage layer must sustain a high throughput\n"
+    b"under heavy access concurrency to the same file\n"
+    b"the version manager is the only serialization point\n"
+) * 2000  # ~300 KB
+
+
+def run_on(name: str, fs, trackers) -> tuple[dict, float]:
+    fs.write_file("/input/corpus.txt", TEXT, client="edge-node")
+    runner = LocalJobRunner(fs, trackers=trackers, slots_per_tracker=2)
+    result = runner.run(wordcount_job(["/input"], "/out", num_reducers=3))
+    counts = {}
+    for path in result.output_paths:
+        for line in fs.read_file(path).decode().splitlines():
+            word, n = line.split("\t")
+            counts[word] = int(n)
+    print(
+        f"{name:>5}: {result.counters['maps_total']} maps "
+        f"({result.counters['maps_local']} local / "
+        f"{result.counters['maps_remote']} remote), "
+        f"{result.counters['reduce_records_in']} shuffled records, "
+        f"{len(counts)} distinct words"
+    )
+    return counts, result.locality
+
+
+def main() -> None:
+    # 16 KB blocks so the demo file splits into many map tasks.
+    bsfs = BSFSFileSystem(
+        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=16384)
+    )
+    hdfs = HDFSFileSystem(datanodes=6, block_size=16384, seed=3)
+
+    # Trackers co-located with the storage daemons, as in the paper.
+    bsfs_counts, bsfs_locality = run_on("BSFS", bsfs, list(bsfs.store.providers))
+    hdfs_counts, hdfs_locality = run_on("HDFS", hdfs, list(hdfs.datanodes))
+
+    assert bsfs_counts == hdfs_counts, "backends must agree bit-for-bit"
+    print(f"\noutputs identical across backends ({len(bsfs_counts)} words)")
+    print(f"locality: BSFS {bsfs_locality:.0%} vs HDFS {hdfs_locality:.0%}")
+    print(f"'the' appears {bsfs_counts['the']} times")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (environments without the `wheel` package).
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-use-pep517`` work offline.
+"""
+
+from setuptools import setup
+
+setup()

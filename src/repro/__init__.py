@@ -1,0 +1,25 @@
+"""repro — reproduction of *BlobSeer: Bringing High Throughput under
+Heavy Concurrency to Hadoop Map-Reduce Applications* (IPDPS 2010).
+
+Subpackages:
+
+* ``repro.blob`` — the BlobSeer versioning blob store (the paper's
+  contribution): striping, distributed segment-tree metadata, version
+  manager, provider manager, replication, GC.
+* ``repro.bsfs`` — the BlobSeer File System: Hadoop-style FileSystem API
+  with namespace manager and client-side block caching.
+* ``repro.hdfs`` — the HDFS baseline (namenode/datanodes, single-writer
+  write-once semantics, local-first placement).
+* ``repro.mapreduce`` — Hadoop-style MapReduce engine with locality
+  scheduling, plus the paper's applications (RandomTextWriter, grep).
+* ``repro.simulation`` — deterministic discrete-event engine, max-min
+  fair flow network and cluster model (the Grid'5000 substitute).
+* ``repro.deploy`` — BlobSeer/HDFS/Hadoop services deployed onto the
+  simulated cluster.
+* ``repro.harness`` — experiment drivers regenerating every figure of
+  the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,95 @@
+"""BlobSeer core: the paper's contribution.
+
+A versioning-oriented blob store built from: data striping over data
+providers (round-robin placement), distributed segment-tree metadata in
+a DHT, a version manager whose assignment step is the only serialized
+part of a write, and lock-free version-based concurrency control with
+linearizable publication (paper §III).
+"""
+
+from repro.blob.block import (
+    BlockDescriptor,
+    BlockId,
+    BytesPayload,
+    Payload,
+    SyntheticPayload,
+    concat,
+)
+from repro.blob.data_provider import DataProviderCore
+from repro.blob.diff import BlockRange, changed_ranges, diff_snapshots
+from repro.blob.gc import GcReport, collect_garbage
+from repro.blob.metadata import MetadataService
+from repro.blob.provider_manager import (
+    LeastLoadedPolicy,
+    LocalFirstPolicy,
+    PlacementPolicy,
+    ProviderManagerCore,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.blob.replication import RepairReport, find_under_replicated, repair_blob
+from repro.blob.segment_tree import (
+    DescentPlan,
+    InnerNode,
+    LeafNode,
+    NodeKey,
+    TreeNode,
+    build_patch,
+    collect_blocks,
+    iter_reachable,
+    latest_intersecting,
+    root_span,
+)
+from repro.blob.store import DEFAULT_BLOCK_SIZE, BlockLocation, LocalBlobStore
+from repro.blob.version_manager import (
+    BlobState,
+    SnapshotInfo,
+    VersionManagerCore,
+    WriteRecord,
+    WriteTicket,
+)
+
+__all__ = [
+    "BytesPayload",
+    "SyntheticPayload",
+    "Payload",
+    "concat",
+    "BlockDescriptor",
+    "BlockId",
+    "NodeKey",
+    "LeafNode",
+    "InnerNode",
+    "TreeNode",
+    "root_span",
+    "latest_intersecting",
+    "build_patch",
+    "DescentPlan",
+    "collect_blocks",
+    "iter_reachable",
+    "VersionManagerCore",
+    "WriteRecord",
+    "WriteTicket",
+    "SnapshotInfo",
+    "BlobState",
+    "ProviderManagerCore",
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "RandomPolicy",
+    "LocalFirstPolicy",
+    "make_policy",
+    "DataProviderCore",
+    "MetadataService",
+    "LocalBlobStore",
+    "BlockLocation",
+    "DEFAULT_BLOCK_SIZE",
+    "GcReport",
+    "collect_garbage",
+    "BlockRange",
+    "changed_ranges",
+    "diff_snapshots",
+    "RepairReport",
+    "find_under_replicated",
+    "repair_blob",
+]

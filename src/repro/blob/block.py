@@ -1,0 +1,154 @@
+"""Blocks: the unit of striping, and the payloads they carry.
+
+BlobSeer stripes every BLOB into fixed-size blocks scattered over data
+providers (64 MB in the paper's evaluation).  The reproduction runs the
+same protocol code in two modes:
+
+* **real payloads** (:class:`BytesPayload`) — actual bytes, used by the
+  functional layer, the examples and the correctness tests;
+* **synthetic payloads** (:class:`SyntheticPayload`) — a size plus an
+  identity tag, used by the discrete-event experiments where a 16 GB
+  file must *cost* 16 GB of simulated transfer without occupying RAM.
+
+Both honour the same interface, so providers, caches and clients never
+branch on the mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["BytesPayload", "SyntheticPayload", "Payload", "BlockDescriptor", "BlockId", "concat"]
+
+
+@dataclass(frozen=True)
+class BytesPayload:
+    """A payload backed by real bytes."""
+
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        """Number of bytes carried."""
+        return len(self.data)
+
+    @property
+    def is_real(self) -> bool:
+        """True: contents are materialised."""
+        return True
+
+    def slice(self, start: int, length: int) -> "BytesPayload":
+        """Sub-payload ``[start, start+length)`` (bounds-checked)."""
+        if start < 0 or length < 0 or start + length > len(self.data):
+            raise ValueError(
+                f"slice [{start}, {start + length}) outside payload of {len(self.data)}B"
+            )
+        return BytesPayload(self.data[start : start + length])
+
+    def tobytes(self) -> bytes:
+        """The raw bytes."""
+        return self.data
+
+
+@dataclass(frozen=True)
+class SyntheticPayload:
+    """A payload that only remembers how large it is (and whose it is).
+
+    ``tag`` preserves identity (e.g. ``(blob_id, version, index)``) so
+    correctness checks on the simulated path can at least verify that
+    the *right* block came back, if not its bytes.
+    """
+
+    nbytes: int
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"payload size must be >= 0, got {self.nbytes}")
+
+    @property
+    def size(self) -> int:
+        """Number of simulated bytes."""
+        return self.nbytes
+
+    @property
+    def is_real(self) -> bool:
+        """False: contents are not materialised."""
+        return False
+
+    def slice(self, start: int, length: int) -> "SyntheticPayload":
+        """Sub-payload of the same tag with the sliced size."""
+        if start < 0 or length < 0 or start + length > self.nbytes:
+            raise ValueError(
+                f"slice [{start}, {start + length}) outside payload of {self.nbytes}B"
+            )
+        return SyntheticPayload(length, tag=self.tag)
+
+    def tobytes(self) -> bytes:
+        """Refused: synthetic payloads have no contents by construction."""
+        raise TypeError("synthetic payloads carry no bytes (simulation-only data)")
+
+
+Payload = Union[BytesPayload, SyntheticPayload]
+
+
+def concat(parts: list[Payload]) -> Payload:
+    """Join payload parts: real bytes if all parts are real, else synthetic.
+
+    Mixed concatenation degrades to synthetic (size-only) — mixing only
+    happens in simulated experiments, never on the functional path.
+    """
+    if all(p.is_real for p in parts):
+        return BytesPayload(b"".join(p.tobytes() for p in parts))
+    return SyntheticPayload(sum(p.size for p in parts), tag="concat")
+
+
+#: Storage identity of one block: (blob_id, write nonce, position in write).
+#: The nonce — not the version — keys provider storage, because BlobSeer
+#: publishes data blocks *before* the version manager assigns a version
+#: (first phase of the two-phase write protocol, paper §III-A.4).
+BlockId = tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """Where one block of one snapshot lives.
+
+    Attributes:
+        blob_id: owning BLOB.
+        version: snapshot that *wrote* this block (blocks are immutable;
+            later snapshots reference them through metadata sharing).
+        index: absolute block index within the BLOB (known only once the
+            version manager fixes the write offset — appends!).
+        size: actual bytes stored (< block_size only for a trailing
+            partial block).
+        providers: data providers holding replicas, primary first.
+        nonce: unique id of the write operation that produced the block.
+        seq: position of this block within its write (0-based).
+    """
+
+    blob_id: str
+    version: int
+    index: int
+    size: int
+    providers: tuple[str, ...]
+    nonce: int
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError(f"blocks are written by versions >= 1, got {self.version}")
+        if self.index < 0:
+            raise ValueError(f"block index must be >= 0, got {self.index}")
+        if self.size <= 0:
+            raise ValueError(f"block size must be positive, got {self.size}")
+        if not self.providers:
+            raise ValueError("a block needs at least one provider")
+        if self.seq < 0:
+            raise ValueError(f"seq must be >= 0, got {self.seq}")
+
+    @property
+    def block_id(self) -> BlockId:
+        """Storage key for provider lookups (version-independent)."""
+        return (self.blob_id, self.nonce, self.seq)

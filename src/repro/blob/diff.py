@@ -1,0 +1,150 @@
+"""Snapshot differencing over the versioned segment tree.
+
+Because every tree node is labelled with the snapshot version that
+created it, two snapshots of a BLOB can be compared **without reading
+any data**: descend both trees in lockstep and prune every subtree
+whose two sides carry the same node key — identical keys mean the
+entire range is shared, bit for bit.  The cost is proportional to the
+*changed* region (times log of the BLOB size), not to the BLOB.
+
+This is the machinery behind "datasets are only locally altered from
+one Map/Reduce pass to another" (§VI-A): a consumer can ask exactly
+which block ranges pass N+1 touched and reprocess only those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.blob.segment_tree import InnerNode, LeafNode, NodeKey, TreeNode
+from repro.blob.store import LocalBlobStore
+from repro.errors import BlobError
+
+__all__ = ["BlockRange", "diff_snapshots", "changed_ranges"]
+
+
+@dataclass(frozen=True)
+class BlockRange:
+    """A maximal run of changed blocks, in block units."""
+
+    start: int
+    end: int  # exclusive
+
+    @property
+    def blocks(self) -> int:
+        """Number of blocks covered."""
+        return self.end - self.start
+
+    def to_bytes(self, block_size: int, total_size: int) -> tuple[int, int]:
+        """Byte interval ``(offset, length)`` clipped to the BLOB size."""
+        offset = self.start * block_size
+        length = min(self.end * block_size, total_size) - offset
+        return offset, length
+
+
+def _coalesce(blocks: list[int]) -> list[BlockRange]:
+    """Merge sorted block indices into maximal ranges."""
+    ranges: list[BlockRange] = []
+    for index in blocks:
+        if ranges and ranges[-1].end == index:
+            ranges[-1] = BlockRange(ranges[-1].start, index + 1)
+        else:
+            ranges.append(BlockRange(index, index + 1))
+    return ranges
+
+
+def diff_snapshots(
+    fetch: Callable[[NodeKey], TreeNode],
+    key_a: Optional[NodeKey],
+    key_b: Optional[NodeKey],
+    resolver: Optional[Callable[[NodeKey], NodeKey]] = None,
+) -> list[int]:
+    """Block indices whose content differs between two subtrees.
+
+    ``None`` on either side means the range does not exist there (size
+    difference); every block present on the other side counts as
+    changed.  Subtrees whose resolved keys are equal are pruned without
+    being visited — the sharing-makes-diff-cheap property.  *resolver*
+    maps keys across branch lineages (see ``LocalBlobStore.key_resolver``).
+    """
+    resolve = resolver if resolver is not None else (lambda k: k)
+    changed: set[int] = set()
+
+    def mark_all(key: NodeKey) -> None:
+        node = fetch(resolve(key))
+        if isinstance(node, LeafNode):
+            changed.add(node.key.offset)
+        else:
+            for child in node.children():
+                mark_all(child)
+
+    def walk(a: Optional[NodeKey], b: Optional[NodeKey]) -> None:
+        if a is None and b is None:
+            return
+        if a is None:
+            mark_all(b)  # type: ignore[arg-type]
+            return
+        if b is None:
+            mark_all(a)
+            return
+        if resolve(a) == resolve(b):
+            return  # identical shared subtree: nothing changed inside
+        if a.span != b.span:
+            # Roots of different-size trees: peel the bigger tree's
+            # right siblings (they exist on one side only) and keep
+            # aligning its left spine with the smaller root.
+            big, small, a_is_big = (a, b, True) if a.span > b.span else (b, a, False)
+            node = fetch(resolve(big))
+            if not isinstance(node, InnerNode):  # pragma: no cover
+                raise BlobError(f"span {big.span} node is not an inner node")
+            if node.right_key is not None:
+                mark_all(node.right_key)
+            walk(node.left_key, small) if a_is_big else walk(small, node.left_key)
+            return
+        node_a = fetch(resolve(a))
+        node_b = fetch(resolve(b))
+        if isinstance(node_a, LeafNode) and isinstance(node_b, LeafNode):
+            if node_a.block.block_id != node_b.block.block_id:
+                changed.add(node_a.key.offset)
+            return
+        if not (isinstance(node_a, InnerNode) and isinstance(node_b, InnerNode)):
+            raise BlobError("mismatched tree shapes at equal spans")  # pragma: no cover
+        walk(node_a.left_key, node_b.left_key)
+        walk(node_a.right_key, node_b.right_key)
+
+    walk(key_a, key_b)
+    return sorted(changed)
+
+
+def changed_ranges(
+    store: LocalBlobStore,
+    blob_id: str,
+    version_a: int,
+    version_b: int,
+    blob_b: Optional[str] = None,
+) -> list[BlockRange]:
+    """Changed block ranges between two published snapshots.
+
+    Compares ``(blob_id, version_a)`` against ``(blob_b or blob_id,
+    version_b)`` — the second form diffs across a branch and its
+    ancestor.  Blocks beyond the shorter snapshot's end count as
+    changed.  Ranges are coalesced and sorted.
+    """
+    other = blob_b if blob_b is not None else blob_id
+    info_a = store.snapshot(blob_id, version_a)
+    info_b = store.snapshot(other, version_b)
+    resolver = store.key_resolver()
+
+    def root_of(owner: str, info) -> Optional[NodeKey]:
+        if info.size == 0:
+            return None
+        return NodeKey(owner, info.version, 0, info.root_span)
+
+    blocks = diff_snapshots(
+        store.metadata.get_node,
+        root_of(blob_id, info_a),
+        root_of(other, info_b),
+        resolver,
+    )
+    return _coalesce(blocks)

@@ -1,0 +1,125 @@
+"""Version garbage collection.
+
+The paper keeps all past versions "at least as long as they have not
+been garbaged for the sake of storage space" (§III-A.1).  Because
+subtrees and blocks are *shared* between snapshots, dropping old
+versions must not touch anything a retained snapshot still references —
+so collection is a mark-and-sweep over the metadata trees:
+
+1. **mark** — traverse the segment tree of every retained version and
+   record every reachable tree node and block id;
+2. **sweep** — delete this BLOB's unmarked tree nodes from the metadata
+   buckets and its unmarked blocks from the data providers.
+
+Collection requires a quiescent BLOB (no in-flight writes): an
+in-flight writer may be about to reference nodes the sweep would
+otherwise consider dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blob.segment_tree import LeafNode, NodeKey, iter_reachable
+from repro.blob.store import LocalBlobStore
+from repro.errors import BlobError
+
+__all__ = ["GcReport", "collect_garbage"]
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one collection pass removed."""
+
+    blob_id: str
+    retain_from: int
+    nodes_deleted: int
+    blocks_deleted: int
+    bytes_freed: int
+
+
+def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> GcReport:
+    """Drop snapshots of *blob_id* older than *retain_from*.
+
+    Versions ``>= retain_from`` (up to the latest) remain readable
+    byte-for-byte; lower versions become :class:`VersionNotFound`.
+    Shared nodes/blocks still referenced by retained snapshots survive.
+    """
+    vm = store.version_manager
+    state = vm.blob(blob_id)
+    inflight = vm.in_flight(blob_id)
+    if inflight:
+        raise BlobError(
+            f"cannot GC blob {blob_id!r} with writes in flight: versions {inflight}"
+        )
+    if retain_from < 1:
+        raise ValueError(f"retain_from must be >= 1, got {retain_from}")
+    if retain_from > state.published:
+        raise BlobError(
+            f"retain_from {retain_from} beyond published watermark {state.published}"
+        )
+
+    # Mark phase: everything reachable from retained snapshot roots —
+    # of this BLOB *and of every branch descending from it*, since
+    # branches share subtrees and blocks with their ancestor (§II-A).
+    resolver = store.key_resolver()
+    marked_nodes: set[NodeKey] = set()
+    marked_blocks: set[tuple] = set()
+
+    def mark(owner_blob: str, first_version: int) -> None:
+        owner_state = vm.blob(owner_blob)
+        for version in range(max(first_version, 1), owner_state.published + 1):
+            info = vm.snapshot_info(owner_blob, version)
+            if info.size == 0:
+                continue
+            root = NodeKey(owner_blob, version, 0, info.root_span)
+            for node in iter_reachable(
+                store.metadata.get_node, root, key_resolver=resolver
+            ):
+                if node.key in marked_nodes:
+                    continue
+                marked_nodes.add(node.key)
+                if isinstance(node, LeafNode):
+                    marked_blocks.add(node.block.block_id)
+
+    mark(blob_id, retain_from)
+    for other_id in vm.blob_ids():
+        if other_id != blob_id and vm.descends_from(other_id, blob_id):
+            other = vm.blob(other_id)
+            if vm.in_flight(other_id):
+                raise BlobError(
+                    f"cannot GC blob {blob_id!r}: descendant branch "
+                    f"{other_id!r} has writes in flight"
+                )
+            mark(other_id, max(other.gc_floor, 1))
+
+    # Sweep metadata buckets (every replica holds full keys; sweep each).
+    nodes_deleted = 0
+    swept_keys: set[NodeKey] = set()
+    for bucket in store.metadata.store.buckets.values():
+        for key in bucket.keys():
+            if isinstance(key, NodeKey) and key.blob_id == blob_id and key not in marked_nodes:
+                bucket.delete(key)
+                if key not in swept_keys:
+                    swept_keys.add(key)
+                    nodes_deleted += 1
+
+    # Sweep data providers.
+    blocks_deleted = 0
+    bytes_freed = 0
+    for provider in store.providers.values():
+        for block_id in provider.block_ids():
+            if block_id[0] == blob_id and block_id not in marked_blocks:
+                freed = provider.delete(block_id)
+                blocks_deleted += 1
+                bytes_freed += freed
+                store.provider_manager.release(provider.name, freed)
+
+    vm.set_gc_floor(blob_id, retain_from)
+    return GcReport(
+        blob_id=blob_id,
+        retain_from=retain_from,
+        nodes_deleted=nodes_deleted,
+        blocks_deleted=blocks_deleted,
+        bytes_freed=bytes_freed,
+    )

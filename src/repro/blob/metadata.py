@@ -1,0 +1,62 @@
+"""Metadata service: segment-tree nodes stored in the DHT.
+
+"To favor efficient concurrent access to metadata, tree nodes are
+distributed: they are stored on the metadata providers using a DHT"
+(paper §III-A.3).  This wraps :class:`~repro.dht.store.DhtStore` with
+the tree-node typing and the immutability discipline: a node key is
+written at most once (writing the *identical* node twice is tolerated,
+so retries are idempotent).
+"""
+
+from __future__ import annotations
+
+from repro.blob.segment_tree import NodeKey, TreeNode
+from repro.dht.store import DhtStore
+from repro.errors import VersionNotFound, WriteConflict
+
+__all__ = ["MetadataService"]
+
+
+class MetadataService:
+    """Typed facade over the metadata-provider DHT."""
+
+    def __init__(self, store: DhtStore):
+        self.store = store
+
+    def put_node(self, node: TreeNode) -> None:
+        """Publish one tree node (immutable; identical re-put allowed)."""
+        key = node.key
+        try:
+            existing = self.store.get(key)
+        except KeyError:
+            self.store.put(key, node)
+            return
+        if existing != node:
+            raise WriteConflict(
+                f"metadata node {key} already exists with different content; "
+                "tree nodes are immutable by design"
+            )
+
+    def put_patch(self, nodes: list[TreeNode]) -> None:
+        """Publish a whole write's patch (children-first order)."""
+        for node in nodes:
+            self.put_node(node)
+
+    def get_node(self, key: NodeKey) -> TreeNode:
+        """Fetch one tree node; VersionNotFound if it does not exist."""
+        try:
+            return self.store.get(key)
+        except KeyError:
+            raise VersionNotFound(f"metadata node {key} not found") from None
+
+    def has_node(self, key: NodeKey) -> bool:
+        """Existence check."""
+        return key in self.store
+
+    def delete_node(self, key: NodeKey) -> None:
+        """GC removal (idempotent)."""
+        self.store.delete(key)
+
+    def load_by_provider(self) -> dict[str, int]:
+        """Stored node count per metadata provider (balance diagnostics)."""
+        return self.store.load_by_bucket()

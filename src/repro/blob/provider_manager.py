@@ -1,0 +1,235 @@
+"""Provider manager: block-placement policies.
+
+"The provider manager keeps information about the available storage
+space and schedules the placement of newly generated blocks ...
+according to a load balancing strategy that aims at evenly distributing
+the blocks across data providers" (paper §III-B).  BlobSeer's default —
+and the root cause of its single-writer and concurrent-reader wins in
+§V-D/§V-E — is a **round-robin** scatter over remote providers.
+
+The HDFS-style policies (``local-first`` writes, random remote
+placement) are implemented here too, both for the HDFS baseline and for
+the placement ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ProviderUnavailable, ReplicationError
+
+__all__ = [
+    "ProviderInfo",
+    "PlacementPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "RandomPolicy",
+    "LocalFirstPolicy",
+    "ProviderManagerCore",
+    "make_policy",
+]
+
+
+@dataclass
+class ProviderInfo:
+    """Load statistics for one data provider."""
+
+    name: str
+    blocks: int = 0
+    bytes: int = 0
+    online: bool = True
+
+
+class PlacementPolicy(Protocol):
+    """Strategy choosing the primary provider for each new block."""
+
+    def choose(
+        self,
+        count: int,
+        providers: Sequence[ProviderInfo],
+        rng: np.random.Generator,
+        client: Optional[str],
+    ) -> list[str]:
+        """Primary provider name for each of *count* blocks.
+
+        *providers* lists only live providers; *client* is the writer's
+        node name (used by locality-aware policies).
+        """
+        ...  # pragma: no cover - protocol
+
+
+class RoundRobinPolicy:
+    """BlobSeer's default: scatter blocks over providers in turn.
+
+    A persistent cursor continues where the previous allocation left
+    off, so successive writes keep the global layout balanced.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, count, providers, rng, client=None):
+        names = [p.name for p in providers]
+        chosen = [names[(self._cursor + i) % len(names)] for i in range(count)]
+        self._cursor = (self._cursor + count) % len(names)
+        return chosen
+
+
+class LeastLoadedPolicy:
+    """Balance on stored block counts (ties broken by name)."""
+
+    def choose(self, count, providers, rng, client=None):
+        loads = {p.name: p.blocks for p in providers}
+        chosen: list[str] = []
+        for _ in range(count):
+            name = min(sorted(loads), key=lambda n: loads[n])
+            chosen.append(name)
+            loads[name] += 1
+        return chosen
+
+
+class RandomPolicy:
+    """Uniform random placement (HDFS's remote-client behaviour)."""
+
+    def choose(self, count, providers, rng, client=None):
+        names = [p.name for p in providers]
+        picks = rng.integers(0, len(names), size=count)
+        return [names[i] for i in picks]
+
+
+class LocalFirstPolicy:
+    """HDFS's datanode-colocated behaviour: write locally when possible.
+
+    If the client is itself a live provider every block lands there
+    (the pathological layout of §V-E's first experiment); otherwise
+    falls back to uniform random remote placement.
+    """
+
+    def choose(self, count, providers, rng, client=None):
+        names = [p.name for p in providers]
+        if client is not None and client in names:
+            return [client] * count
+        picks = rng.integers(0, len(names), size=count)
+        return [names[i] for i in picks]
+
+
+_POLICIES = {
+    "round_robin": RoundRobinPolicy,
+    "least_loaded": LeastLoadedPolicy,
+    "random": RandomPolicy,
+    "local_first": LocalFirstPolicy,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Instantiate a policy by config name (see ``_POLICIES`` keys)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+
+
+class ProviderManagerCore:
+    """Tracks providers and allocates replica sets for new blocks.
+
+    Replicas: the policy picks each block's *primary*; remaining
+    replicas are the next live providers in name order after the
+    primary (deterministic, distinct, and spread).
+    """
+
+    def __init__(
+        self,
+        policy: PlacementPolicy | str = "round_robin",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.policy: PlacementPolicy = (
+            make_policy(policy) if isinstance(policy, str) else policy
+        )
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._providers: dict[str, ProviderInfo] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    def register(self, name: str) -> None:
+        """A data provider joins (they "may dynamically join", §III-B)."""
+        if name in self._providers:
+            raise ValueError(f"provider {name!r} already registered")
+        self._providers[name] = ProviderInfo(name=name)
+
+    def decommission(self, name: str) -> None:
+        """Mark a provider offline; its stats are retained."""
+        self._provider(name).online = False
+
+    def recover(self, name: str) -> None:
+        """Bring a provider back online."""
+        self._provider(name).online = True
+
+    def _provider(self, name: str) -> ProviderInfo:
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise ProviderUnavailable(f"unknown provider {name!r}") from None
+
+    @property
+    def provider_names(self) -> list[str]:
+        """All registered providers, name order."""
+        return sorted(self._providers)
+
+    def live_providers(self) -> list[ProviderInfo]:
+        """Currently online providers, name order."""
+        return [self._providers[n] for n in self.provider_names if self._providers[n].online]
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate(
+        self,
+        count: int,
+        block_sizes: Sequence[int],
+        replication: int = 1,
+        client: Optional[str] = None,
+    ) -> list[tuple[str, ...]]:
+        """Replica sets (primary first) for *count* new blocks.
+
+        Raises :class:`ReplicationError` when fewer than *replication*
+        providers are live.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if len(block_sizes) != count:
+            raise ValueError(f"need {count} block sizes, got {len(block_sizes)}")
+        live = self.live_providers()
+        if len(live) < replication:
+            raise ReplicationError(
+                f"replication {replication} impossible with {len(live)} live providers"
+            )
+        primaries = self.policy.choose(count, live, self._rng, client)
+        live_names = [p.name for p in live]
+        placements: list[tuple[str, ...]] = []
+        for seq, primary in enumerate(primaries):
+            start = live_names.index(primary)
+            replicas = tuple(
+                live_names[(start + r) % len(live_names)] for r in range(replication)
+            )
+            placements.append(replicas)
+            for name in replicas:
+                info = self._providers[name]
+                info.blocks += 1
+                info.bytes += block_sizes[seq]
+        return placements
+
+    def release(self, provider: str, nbytes: int) -> None:
+        """Return capacity after a GC deletion (one block of *nbytes*)."""
+        info = self._provider(provider)
+        info.blocks = max(0, info.blocks - 1)
+        info.bytes = max(0, info.bytes - nbytes)
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def block_counts(self) -> dict[str, int]:
+        """Blocks per provider — the Figure 3(b) layout vector source."""
+        return {name: self._providers[name].blocks for name in self.provider_names}

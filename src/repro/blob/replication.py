@@ -1,0 +1,127 @@
+"""Replication maintenance (paper §VI-B).
+
+Fault tolerance in BlobSeer is "a simple replication mechanism that
+allows the user to specify a replication level for each BLOB": writes
+fan out each block to that many providers, reads fail over between
+replicas (both already built into the store).  This module adds the
+maintenance side: finding blocks whose replica sets have dropped below
+target after provider failures, and re-replicating them from surviving
+copies.
+
+Replica-set location is the one piece of metadata treated as mutable:
+repairing a block rewrites the leaf node with an updated provider
+tuple.  The block's *identity and contents* stay immutable, so snapshot
+semantics are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blob.block import BlockDescriptor
+from repro.blob.segment_tree import LeafNode, NodeKey, iter_reachable
+from repro.blob.store import LocalBlobStore
+from repro.errors import ReplicationError
+
+__all__ = ["RepairReport", "find_under_replicated", "repair_blob"]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of one repair pass over a BLOB."""
+
+    blob_id: str
+    blocks_checked: int
+    blocks_repaired: int
+    copies_created: int
+
+
+def _live_replicas(store: LocalBlobStore, descriptor: BlockDescriptor) -> list[str]:
+    """Replica providers that are online *and* still hold the block."""
+    return [
+        name
+        for name in descriptor.providers
+        if name in store.providers and store.providers[name].has(descriptor.block_id)
+    ]
+
+
+def find_under_replicated(
+    store: LocalBlobStore, blob_id: str, version: int | None = None
+) -> list[LeafNode]:
+    """Leaves of the snapshot whose blocks have too few live replicas."""
+    info = store.snapshot(blob_id, version)
+    if info.size == 0:
+        return []
+    state = store.version_manager.blob(blob_id)
+    root = NodeKey(blob_id, info.version, 0, info.root_span)
+    lacking = []
+    for node in iter_reachable(
+        store.metadata.get_node, root, key_resolver=store.key_resolver()
+    ):
+        if isinstance(node, LeafNode):
+            if len(_live_replicas(store, node.block)) < state.replication:
+                lacking.append(node)
+    return lacking
+
+
+def repair_blob(store: LocalBlobStore, blob_id: str, version: int | None = None) -> RepairReport:
+    """Restore the replication level of every block in one snapshot.
+
+    For each under-replicated block: copy the payload from a surviving
+    replica to fresh providers (chosen among live providers not already
+    holding it) and republish the leaf with the updated replica set.
+    Raises :class:`ReplicationError` if a block has **no** live replica
+    (data loss: only a re-write can recover it).
+    """
+    info = store.snapshot(blob_id, version)
+    state = store.version_manager.blob(blob_id)
+    target = state.replication
+    checked = repaired = created = 0
+    if info.size == 0:
+        return RepairReport(blob_id, 0, 0, 0)
+    root = NodeKey(blob_id, info.version, 0, info.root_span)
+    for node in list(
+        iter_reachable(
+            store.metadata.get_node, root, key_resolver=store.key_resolver()
+        )
+    ):
+        if not isinstance(node, LeafNode):
+            continue
+        checked += 1
+        descriptor = node.block
+        live = _live_replicas(store, descriptor)
+        if len(live) >= target:
+            continue
+        if not live:
+            raise ReplicationError(
+                f"block {descriptor.block_id} of blob {blob_id!r} has no live replica"
+            )
+        payload = store.providers[live[0]].get(descriptor.block_id)
+        candidates = [
+            p.name
+            for p in store.provider_manager.live_providers()
+            if p.name not in live
+        ]
+        needed = target - len(live)
+        if len(candidates) < needed:
+            raise ReplicationError(
+                f"not enough live providers to restore replication {target} "
+                f"for block {descriptor.block_id}"
+            )
+        new_homes = candidates[:needed]
+        for name in new_homes:
+            store.providers[name].put(descriptor.block_id, payload)
+            created += 1
+        new_descriptor = BlockDescriptor(
+            blob_id=descriptor.blob_id,
+            version=descriptor.version,
+            index=descriptor.index,
+            size=descriptor.size,
+            providers=tuple(live + new_homes),
+            nonce=descriptor.nonce,
+            seq=descriptor.seq,
+        )
+        # Replica location is mutable metadata: replace the leaf in the DHT.
+        store.metadata.store.put(node.key, LeafNode(key=node.key, block=new_descriptor))
+        repaired += 1
+    return RepairReport(blob_id, checked, repaired, created)

@@ -1,0 +1,387 @@
+"""LocalBlobStore: the whole BlobSeer service, in process.
+
+Wires the functional cores together — version manager, provider
+manager, data providers, metadata DHT — and runs the paper's exact
+client protocols against them:
+
+* **write/append** (§III-D): split into blocks → ask the provider
+  manager for placements → store blocks (first phase, fully parallel
+  in the distributed deployment) → obtain a version ticket (the only
+  serialized step) → weave and publish the metadata patch → report
+  success, which advances the publication watermark in version order.
+* **read** (§III-C): resolve the snapshot with the version manager →
+  descend the snapshot's segment tree (metadata providers) → fetch the
+  touched blocks, trimming the extremal ones → assemble.
+
+This class is the reference implementation the property-based tests
+check against a model, and the engine the BSFS file system runs on.
+It is thread-compatible (a lock around version-manager state mirrors
+the real serialization point) though single-process — wall-clock
+concurrency claims are the business of the simulated deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.blob.block import (
+    BlockDescriptor,
+    BytesPayload,
+    Payload,
+    SyntheticPayload,
+    concat,
+)
+from repro.blob.data_provider import DataProviderCore
+from repro.blob.metadata import MetadataService
+from repro.blob.provider_manager import PlacementPolicy, ProviderManagerCore
+from repro.blob.segment_tree import (
+    DescentPlan,
+    NodeKey,
+    build_patch,
+    collect_blocks,
+)
+from repro.blob.version_manager import SnapshotInfo, VersionManagerCore, WriteTicket
+from repro.dht.store import DhtStore
+from repro.errors import InvalidRange, ProviderUnavailable
+from repro.util.bytesize import MB, parse_size
+from repro.util.chunks import split_range
+
+__all__ = ["LocalBlobStore", "BlockLocation", "DEFAULT_BLOCK_SIZE"]
+
+#: The paper's block size: 64 MB, "equal to the chunk size in HDFS".
+DEFAULT_BLOCK_SIZE = 64 * MB
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """One entry of the data-layout primitive (paper §IV-C).
+
+    Hadoop's scheduler asks "how is this range split into blocks and
+    where do they live" — the answer is a list of these.
+    """
+
+    offset: int
+    length: int
+    providers: tuple[str, ...]
+
+
+def _split_payload(data: Union[bytes, Payload], block_size: int) -> list[Payload]:
+    """Cut client data into block-sized payloads (trailing may be short)."""
+    payload: Payload = BytesPayload(data) if isinstance(data, (bytes, bytearray)) else data
+    if payload.size == 0:
+        raise InvalidRange("cannot write zero bytes")
+    return [
+        payload.slice(s.offset, s.length)
+        for s in split_range(0, payload.size, block_size)
+    ]
+
+
+class LocalBlobStore:
+    """In-process BlobSeer deployment.
+
+    Args:
+        data_providers: count, or explicit provider names.
+        metadata_providers: count, or explicit names, of DHT buckets.
+        block_size: striping unit (default 64 MB; accepts "64MB" forms).
+        replication: data-block replica count.
+        metadata_replication: DHT replica count for tree nodes.
+        placement: policy name or instance (default BlobSeer round-robin).
+        seed: seed for any stochastic policy (random placement).
+    """
+
+    def __init__(
+        self,
+        data_providers: Union[int, Sequence[str]] = 16,
+        metadata_providers: Union[int, Sequence[str]] = 4,
+        block_size: Union[int, str] = DEFAULT_BLOCK_SIZE,
+        replication: int = 1,
+        metadata_replication: int = 1,
+        placement: Union[str, PlacementPolicy] = "round_robin",
+        seed: int = 0,
+    ):
+        if isinstance(data_providers, int):
+            data_providers = [f"provider-{i:03d}" for i in range(data_providers)]
+        if isinstance(metadata_providers, int):
+            metadata_providers = [f"mdp-{i:03d}" for i in range(metadata_providers)]
+        self.block_size = parse_size(block_size)
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.replication = replication
+        self.version_manager = VersionManagerCore()
+        self.provider_manager = ProviderManagerCore(
+            policy=placement, rng=np.random.default_rng(seed)
+        )
+        self.providers: dict[str, DataProviderCore] = {}
+        for name in data_providers:
+            self.provider_manager.register(name)
+            self.providers[name] = DataProviderCore(name)
+        self.metadata = MetadataService(
+            DhtStore(list(metadata_providers), replication=metadata_replication)
+        )
+        self._nonce = itertools.count(1)
+        self._lock = threading.Lock()
+        self._blob_counter = itertools.count(1)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def create(
+        self,
+        blob_id: Optional[str] = None,
+        block_size: Optional[Union[int, str]] = None,
+        replication: Optional[int] = None,
+    ) -> str:
+        """Create an empty BLOB and return its id."""
+        with self._lock:
+            if blob_id is None:
+                blob_id = f"blob-{next(self._blob_counter):06d}"
+            self.version_manager.create_blob(
+                blob_id,
+                block_size=parse_size(block_size) if block_size is not None else self.block_size,
+                replication=replication if replication is not None else self.replication,
+            )
+        return blob_id
+
+    def branch(
+        self,
+        src_blob_id: str,
+        new_blob_id: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> str:
+        """Fork a BLOB at a published snapshot (§II-A branching).
+
+        Pure metadata: no block is copied.  Both BLOBs evolve
+        independently from the branch point on.
+        """
+        with self._lock:
+            if new_blob_id is None:
+                new_blob_id = f"blob-{next(self._blob_counter):06d}"
+            self.version_manager.branch_blob(src_blob_id, new_blob_id, version)
+        return new_blob_id
+
+    # -- write path (paper §III-D) ----------------------------------------------------
+
+    def write(self, blob_id: str, offset: int, data: Union[bytes, Payload]) -> int:
+        """Write *data* at *offset*; returns the new snapshot version."""
+        return self._do_write(blob_id, data, offset=offset, append=False)
+
+    def append(self, blob_id: str, data: Union[bytes, Payload]) -> int:
+        """Append *data*; the version manager fixes the offset (§III-D)."""
+        return self._do_write(blob_id, data, offset=None, append=True)
+
+    def _do_write(
+        self,
+        blob_id: str,
+        data: Union[bytes, Payload],
+        offset: Optional[int],
+        append: bool,
+    ) -> int:
+        state = self.version_manager.blob(blob_id)
+        block_size = state.block_size
+        payloads = _split_payload(data, block_size)
+        sizes = [p.size for p in payloads]
+
+        # Phase 1 — publish data blocks.  In the distributed deployment
+        # every writer does this in parallel with all others; here it is
+        # sequential code but the protocol (and its failure points) are
+        # the same.
+        with self._lock:
+            nonce = next(self._nonce)
+            placements = self.provider_manager.allocate(
+                len(payloads), sizes, replication=state.replication
+            )
+        for seq, (payload, replicas) in enumerate(zip(payloads, placements)):
+            for provider_name in replicas:
+                # "If, for some reason, writing of a block fails, then
+                # the whole write fails." (§III-D)
+                self.providers[provider_name].put((blob_id, nonce, seq), payload)
+
+        # Phase 2 — version assignment (the serialization point) ...
+        with self._lock:
+            if append:
+                ticket = self.version_manager.assign_append(blob_id, sum(sizes))
+            else:
+                assert offset is not None
+                ticket = self.version_manager.assign_write(blob_id, offset, sum(sizes))
+
+        # ... then weave and publish metadata (concurrent by design).
+        self._publish_metadata(ticket, nonce, sizes, placements)
+
+        with self._lock:
+            self.version_manager.commit(blob_id, ticket.version)
+        return ticket.version
+
+    def _publish_metadata(
+        self,
+        ticket: WriteTicket,
+        nonce: int,
+        sizes: list[int],
+        placements: list[tuple[str, ...]],
+    ) -> None:
+        def leaf_descriptor(index: int) -> BlockDescriptor:
+            seq = index - ticket.start_block
+            return BlockDescriptor(
+                blob_id=ticket.blob_id,
+                version=ticket.version,
+                index=index,
+                size=sizes[seq],
+                providers=placements[seq],
+                nonce=nonce,
+                seq=seq,
+            )
+
+        patch = build_patch(
+            blob_id=ticket.blob_id,
+            version=ticket.version,
+            write_start=ticket.start_block,
+            write_end=ticket.end_block,
+            size_after_blocks=ticket.size_after_blocks,
+            history=ticket.history,
+            leaf_descriptor=leaf_descriptor,
+        )
+        self.metadata.put_patch(patch)
+
+    # -- read path (paper §III-C) -----------------------------------------------------
+
+    def snapshot(self, blob_id: str, version: Optional[int] = None) -> SnapshotInfo:
+        """Snapshot info; ``None`` means latest published (§III-A.1)."""
+        with self._lock:
+            if version is None:
+                return self.version_manager.latest(blob_id)
+            return self.version_manager.snapshot_info(blob_id, version)
+
+    def latest_version(self, blob_id: str) -> int:
+        """Publication watermark for *blob_id*."""
+        with self._lock:
+            return self.version_manager.published_version(blob_id)
+
+    def read(
+        self,
+        blob_id: str,
+        offset: int = 0,
+        size: Optional[int] = None,
+        version: Optional[int] = None,
+    ) -> bytes:
+        """Read bytes from a snapshot (defaults: whole latest snapshot)."""
+        return self.read_payload(blob_id, offset, size, version).tobytes()
+
+    def read_payload(
+        self,
+        blob_id: str,
+        offset: int = 0,
+        size: Optional[int] = None,
+        version: Optional[int] = None,
+    ) -> Payload:
+        """Read as a payload (synthetic-safe variant of :meth:`read`)."""
+        info = self.snapshot(blob_id, version)
+        if size is None:
+            size = info.size - offset
+        if offset < 0 or size < 0 or offset + size > info.size:
+            raise InvalidRange(
+                f"read [{offset}, {offset + size}) outside snapshot of {info.size}B"
+            )
+        if size == 0:
+            return BytesPayload(b"")
+        descriptors = self._collect_descriptors(info, offset, size)
+        parts: list[Payload] = []
+        for slice_, descriptor in zip(
+            split_range(offset, size, info.block_size), descriptors
+        ):
+            payload = self._fetch_block(descriptor)
+            want_end = slice_.start + slice_.length
+            if want_end > payload.size:
+                raise InvalidRange(
+                    f"block {descriptor.index} holds {payload.size}B, "
+                    f"needed [{slice_.start}, {want_end})"
+                )
+            parts.append(payload.slice(slice_.start, slice_.length))
+        return concat(parts)
+
+    def key_resolver(self):
+        """Map tree-node keys to their owning BLOB (branch lineage)."""
+        owner_of = self.version_manager.owner_of
+
+        def resolve(key: NodeKey) -> NodeKey:
+            owner = owner_of(key.blob_id, key.version)
+            if owner == key.blob_id:
+                return key
+            return NodeKey(owner, key.version, key.offset, key.span)
+
+        return resolve
+
+    def _collect_descriptors(
+        self, info: SnapshotInfo, offset: int, size: int
+    ) -> list[BlockDescriptor]:
+        lo = offset // info.block_size
+        hi = -(-(offset + size) // info.block_size)
+        root = NodeKey(info.blob_id, info.version, 0, info.root_span)
+        return collect_blocks(
+            self.metadata.get_node, root, lo, hi, key_resolver=self.key_resolver()
+        )
+
+    def _fetch_block(self, descriptor: BlockDescriptor) -> Payload:
+        last_error: Optional[Exception] = None
+        for provider_name in descriptor.providers:
+            provider = self.providers[provider_name]
+            if not provider.online:
+                last_error = ProviderUnavailable(f"{provider_name} is down")
+                continue
+            try:
+                return provider.get(descriptor.block_id)
+            except KeyError as exc:
+                last_error = exc
+        raise ProviderUnavailable(
+            f"no live replica of block {descriptor.block_id} "
+            f"(providers {descriptor.providers})"
+        ) from last_error
+
+    # -- the Hadoop affinity primitive (paper §IV-C) -------------------------------------
+
+    def block_locations(
+        self,
+        blob_id: str,
+        offset: int,
+        size: int,
+        version: Optional[int] = None,
+    ) -> list[BlockLocation]:
+        """Blocks making up a range, with the nodes that store them."""
+        info = self.snapshot(blob_id, version)
+        if size == 0:
+            return []
+        if offset < 0 or size < 0 or offset + size > info.size:
+            raise InvalidRange(
+                f"range [{offset}, {offset + size}) outside snapshot of {info.size}B"
+            )
+        descriptors = self._collect_descriptors(info, offset, size)
+        return [
+            BlockLocation(
+                offset=s.offset, length=s.length, providers=d.providers
+            )
+            for s, d in zip(split_range(offset, size, info.block_size), descriptors)
+        ]
+
+    # -- diagnostics & failure injection ---------------------------------------------------
+
+    def provider_block_counts(self) -> dict[str, int]:
+        """Actually-stored blocks per data provider (Figure 3(b) input)."""
+        return {name: p.block_count for name, p in sorted(self.providers.items())}
+
+    def fail_provider(self, name: str) -> None:
+        """Take one data provider offline."""
+        self.providers[name].fail()
+        self.provider_manager.decommission(name)
+
+    def recover_provider(self, name: str) -> None:
+        """Bring a failed data provider back (content intact)."""
+        self.providers[name].recover()
+        self.provider_manager.recover(name)
+
+    def descend_plan(self, blob_id: str, version: int, lo: int, hi: int) -> DescentPlan:
+        """Expose a raw descent plan (used by tests and the GC)."""
+        info = self.snapshot(blob_id, version)
+        root = NodeKey(info.blob_id, info.version, 0, info.root_span)
+        return DescentPlan(root, lo, hi)

@@ -1,0 +1,423 @@
+"""Version manager: snapshot assignment, ordering, publication.
+
+"The version manager is in charge of assigning snapshot version numbers
+in such a way that serialization and atomicity of writes and appends is
+guaranteed" (paper §III-B).  Its state machine is deliberately tiny:
+
+* :meth:`assign_write` / :meth:`assign_append` — hand out the next
+  version number and, for appends, fix the offset to the size of the
+  preceding snapshot (which may itself still be in flight, §III-D).
+  The returned :class:`WriteTicket` carries the write history the
+  client needs to weave its metadata without talking to anyone else.
+* :meth:`commit` — the writer reports that data *and* metadata are
+  stored; the publication watermark then advances to the highest
+  version ``v`` such that every version ``<= v`` is committed, giving
+  linearizability: readers only ever see complete snapshot prefixes
+  (§III-A.5's two conditions).
+
+This class is pure bookkeeping (no I/O, no clocks) so the in-process
+store and the simulated version-manager service share it verbatim.
+Assignment is the **only** serialized step of a write — everything else
+in the protocol is designed to run concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.blob.segment_tree import HistoryRecord, root_span
+from repro.errors import (
+    BlobError,
+    BlobNotFound,
+    InvalidRange,
+    VersionNotFound,
+    VersionNotReady,
+    WriteConflict,
+)
+from repro.util.chunks import block_count
+
+__all__ = ["WriteRecord", "WriteTicket", "SnapshotInfo", "BlobState", "VersionManagerCore"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One assigned version: what it wrote and the size afterwards."""
+
+    version: int
+    offset: int
+    length: int
+    size_after: int
+    start_block: int
+    end_block: int
+
+    @property
+    def history_record(self) -> HistoryRecord:
+        """Projection used by metadata weaving: (version, block range)."""
+        return (self.version, self.start_block, self.end_block)
+
+
+@dataclass(frozen=True)
+class WriteTicket:
+    """Everything a writer needs after version assignment.
+
+    ``history`` holds the block ranges of **all lower versions** — the
+    version-manager "hints" that let this writer predict concurrent
+    writers' metadata and weave its own without waiting for them.
+    """
+
+    blob_id: str
+    version: int
+    offset: int
+    length: int
+    size_after: int
+    start_block: int
+    end_block: int
+    block_size: int
+    replication: int
+    history: tuple[HistoryRecord, ...]
+
+    @property
+    def size_after_blocks(self) -> int:
+        """BLOB size in blocks once this snapshot completes."""
+        return block_count(self.size_after, self.block_size)
+
+    @property
+    def root_span(self) -> int:
+        """Root coverage of this snapshot's tree."""
+        return root_span(self.size_after_blocks)
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """Read-side view of one published snapshot."""
+
+    blob_id: str
+    version: int
+    size: int
+    block_size: int
+    root_span: int
+
+    @property
+    def size_blocks(self) -> int:
+        """Size in blocks (ceiling)."""
+        return block_count(self.size, self.block_size)
+
+
+@dataclass
+class BlobState:
+    """Version-manager state for one BLOB."""
+
+    blob_id: str
+    block_size: int
+    replication: int
+    records: list[WriteRecord] = field(default_factory=list)
+    committed: set[int] = field(default_factory=set)
+    published: int = 0
+    gc_floor: int = 0  # versions < gc_floor are no longer readable
+    #: For branched BLOBs: (ancestor blob id, branch-base version).
+    #: Versions <= base belong to the ancestor's metadata/data.
+    parent: Optional[tuple[str, int]] = None
+
+    @property
+    def last_assigned(self) -> int:
+        """Highest version number handed out so far."""
+        return len(self.records) - 1
+
+
+class VersionManagerCore:
+    """Pure version-assignment and publication state machine.
+
+    Alignment discipline enforced on writes (see DESIGN.md §6):
+    ``offset`` must be block-aligned and ``offset <= current size`` (no
+    holes); ``length`` must be a whole number of blocks unless the write
+    extends exactly to the (new) end of the BLOB, which permits one
+    trailing partial block.  These are the constraints under which the
+    metadata-weaving rule of §III-D is exact.
+    """
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, BlobState] = {}
+        self._publish_hooks: list[Callable[[str, int], None]] = []
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_publish(self, hook: Callable[[str, int], None]) -> None:
+        """Register ``hook(blob_id, new_watermark)`` called on publication."""
+        self._publish_hooks.append(hook)
+
+    # -- blob lifecycle ---------------------------------------------------------
+
+    def create_blob(self, blob_id: str, block_size: int, replication: int = 1) -> BlobState:
+        """Register a new empty BLOB (snapshot version 0, size 0)."""
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if blob_id in self._blobs:
+            raise BlobError(f"blob {blob_id!r} already exists")
+        state = BlobState(blob_id=blob_id, block_size=block_size, replication=replication)
+        state.records.append(
+            WriteRecord(version=0, offset=0, length=0, size_after=0, start_block=0, end_block=0)
+        )
+        state.committed.add(0)
+        self._blobs[blob_id] = state
+        return state
+
+    def branch_blob(self, src_id: str, new_id: str, version: Optional[int] = None) -> BlobState:
+        """Fork *src_id* at a published snapshot into a new BLOB.
+
+        "Branching a dataset into two independent datasets that can
+        evolve independently" (§II-A) is pure metadata: the branch
+        inherits the source's write history up to *version* (default:
+        latest published) and shares every block and tree node with it.
+        Subsequent writes to either BLOB are invisible to the other.
+        """
+        src = self.blob(src_id)
+        if new_id in self._blobs:
+            raise BlobError(f"blob {new_id!r} already exists")
+        base = src.published if version is None else version
+        # Validates existence, publication and the GC floor.
+        self.snapshot_info(src_id, base)
+        state = BlobState(
+            blob_id=new_id,
+            block_size=src.block_size,
+            replication=src.replication,
+            records=list(src.records[: base + 1]),
+            committed=set(range(base + 1)),
+            published=base,
+            parent=(src_id, base),
+        )
+        self._blobs[new_id] = state
+        return state
+
+    def owner_of(self, blob_id: str, version: int) -> str:
+        """The BLOB whose metadata/data owns *version* of *blob_id*.
+
+        Walks the branch lineage: versions at or below a branch base
+        belong to the ancestor.  Identity for unbranched BLOBs.
+        """
+        state = self.blob(blob_id)
+        while state.parent is not None and version <= state.parent[1]:
+            blob_id = state.parent[0]
+            state = self.blob(blob_id)
+        return blob_id
+
+    def descends_from(self, blob_id: str, ancestor_id: str) -> bool:
+        """Whether *blob_id*'s lineage includes *ancestor_id*."""
+        state = self.blob(blob_id)
+        while state.parent is not None:
+            if state.parent[0] == ancestor_id:
+                return True
+            state = self.blob(state.parent[0])
+        return False
+
+    def blob(self, blob_id: str) -> BlobState:
+        """State for *blob_id* (``BlobNotFound`` if absent)."""
+        try:
+            return self._blobs[blob_id]
+        except KeyError:
+            raise BlobNotFound(blob_id) from None
+
+    def has_blob(self, blob_id: str) -> bool:
+        """Existence check."""
+        return blob_id in self._blobs
+
+    def blob_ids(self) -> list[str]:
+        """All registered BLOB ids."""
+        return sorted(self._blobs)
+
+    # -- assignment (the serialization point) -------------------------------------
+
+    def assign_write(self, blob_id: str, offset: int, length: int) -> WriteTicket:
+        """Assign the next version to a write at an explicit offset."""
+        state = self.blob(blob_id)
+        current_size = state.records[-1].size_after
+        self._validate_range(state, offset, length, current_size)
+        return self._assign(state, offset, length)
+
+    def assign_append(self, blob_id: str, length: int) -> WriteTicket:
+        """Assign the next version to an append.
+
+        The offset is fixed *here*, to the size of the preceding
+        snapshot — which may still be being written (§III-D: "the
+        writing of this snapshot may still be in progress").
+        """
+        state = self.blob(blob_id)
+        offset = state.records[-1].size_after
+        if offset % state.block_size != 0:
+            raise InvalidRange(
+                f"append to blob {blob_id!r} requires a block-aligned size, "
+                f"but current size is {offset} (block_size={state.block_size}); "
+                f"use a trailing-partial write instead"
+            )
+        if length < 1:
+            raise InvalidRange(f"append length must be positive, got {length}")
+        return self._assign(state, offset, length)
+
+    def _validate_range(self, state: BlobState, offset: int, length: int, current_size: int) -> None:
+        if length < 1:
+            raise InvalidRange(f"write length must be positive, got {length}")
+        if offset < 0:
+            raise InvalidRange(f"write offset must be >= 0, got {offset}")
+        if offset % state.block_size != 0:
+            raise InvalidRange(
+                f"write offset {offset} not aligned to block size {state.block_size}"
+            )
+        if offset > current_size:
+            raise InvalidRange(
+                f"write at offset {offset} would leave a hole (size is {current_size})"
+            )
+        end = offset + length
+        new_size = max(current_size, end)
+        if length % state.block_size != 0 and end != new_size:
+            raise InvalidRange(
+                "partial-block writes must extend to the end of the blob "
+                f"(offset={offset} length={length} size={current_size})"
+            )
+        # Rewriting an interior range with a partial trailing block would
+        # truncate data the leaf model cannot merge back.
+        if end < current_size and length % state.block_size != 0:
+            raise InvalidRange(
+                "interior writes must cover whole blocks "
+                f"(offset={offset} length={length} size={current_size})"
+            )
+
+    def _assign(self, state: BlobState, offset: int, length: int) -> WriteTicket:
+        current_size = state.records[-1].size_after
+        version = len(state.records)
+        end = offset + length
+        size_after = max(current_size, end)
+        start_block = offset // state.block_size
+        end_block = block_count(end, state.block_size)
+        record = WriteRecord(
+            version=version,
+            offset=offset,
+            length=length,
+            size_after=size_after,
+            start_block=start_block,
+            end_block=end_block,
+        )
+        state.records.append(record)
+        history = tuple(
+            r.history_record for r in state.records[1:version] if r.length > 0
+        )
+        return WriteTicket(
+            blob_id=state.blob_id,
+            version=version,
+            offset=offset,
+            length=length,
+            size_after=size_after,
+            start_block=start_block,
+            end_block=end_block,
+            block_size=state.block_size,
+            replication=state.replication,
+            history=history,
+        )
+
+    # -- completion and publication -----------------------------------------------
+
+    def commit(self, blob_id: str, version: int) -> int:
+        """Record that *version*'s data and metadata are fully stored.
+
+        Returns the new publication watermark.  The watermark only
+        advances past *version* once **all** lower versions are also
+        committed — the order in which "new snapshots are revealed to
+        the readers must respect the order in which version numbers
+        have been assigned" (§III-A.4).
+        """
+        state = self.blob(blob_id)
+        if version < 1 or version > state.last_assigned:
+            raise VersionNotFound(f"version {version} of blob {blob_id!r} was never assigned")
+        if version in state.committed:
+            raise WriteConflict(f"version {version} of blob {blob_id!r} committed twice")
+        state.committed.add(version)
+        old = state.published
+        while state.published + 1 in state.committed:
+            state.published += 1
+        if state.published != old:
+            for hook in self._publish_hooks:
+                hook(blob_id, state.published)
+        return state.published
+
+    def abort(self, blob_id: str, version: int) -> None:
+        """Abandon an assigned-but-uncommitted version.
+
+        Only the *highest* assigned version may abort, and only while no
+        later version has been assigned: later writers may already have
+        woven references to this version's range per the hint rule, so
+        retracting an interior version would dangle their metadata.  A
+        failed writer holding an interior version wedges the watermark —
+        the availability weakness the paper acknowledges in §VI-B.
+        """
+        state = self.blob(blob_id)
+        if version != state.last_assigned:
+            raise WriteConflict(
+                f"cannot abort version {version}: version {state.last_assigned} "
+                f"was assigned after it and may reference it"
+            )
+        if version in state.committed:
+            raise WriteConflict(f"version {version} already committed")
+        state.records.pop()
+
+    # -- read-side queries ---------------------------------------------------------
+
+    def published_version(self, blob_id: str) -> int:
+        """Current publication watermark (highest readable version)."""
+        return self.blob(blob_id).published
+
+    def latest(self, blob_id: str) -> SnapshotInfo:
+        """Info for the latest *published* snapshot (§III-A.1's special call)."""
+        state = self.blob(blob_id)
+        return self.snapshot_info(blob_id, state.published)
+
+    def snapshot_info(self, blob_id: str, version: int) -> SnapshotInfo:
+        """Read-side info for one snapshot; enforces the publication gate."""
+        state = self.blob(blob_id)
+        if version < 0 or version > state.last_assigned:
+            raise VersionNotFound(f"version {version} of blob {blob_id!r} does not exist")
+        if version < state.gc_floor:
+            raise VersionNotFound(
+                f"version {version} of blob {blob_id!r} was garbage-collected"
+            )
+        if version > state.published:
+            raise VersionNotReady(
+                f"version {version} of blob {blob_id!r} is not yet published "
+                f"(watermark is {state.published})"
+            )
+        record = state.records[version]
+        size_blocks = block_count(record.size_after, state.block_size)
+        return SnapshotInfo(
+            blob_id=blob_id,
+            version=version,
+            size=record.size_after,
+            block_size=state.block_size,
+            root_span=root_span(size_blocks),
+        )
+
+    def history_upto(self, blob_id: str, version: int) -> tuple[HistoryRecord, ...]:
+        """Write-history records for versions 1..*version* (weaving/GC)."""
+        state = self.blob(blob_id)
+        if version > state.last_assigned:
+            raise VersionNotFound(f"version {version} of blob {blob_id!r} does not exist")
+        return tuple(r.history_record for r in state.records[1 : version + 1] if r.length > 0)
+
+    def in_flight(self, blob_id: str) -> list[int]:
+        """Assigned versions not yet committed (must be empty for GC)."""
+        state = self.blob(blob_id)
+        return [
+            r.version
+            for r in state.records[1:]
+            if r.version not in state.committed
+        ]
+
+    def set_gc_floor(self, blob_id: str, floor: int) -> None:
+        """Mark versions below *floor* unreadable (GC bookkeeping)."""
+        state = self.blob(blob_id)
+        if floor > state.published:
+            raise BlobError(
+                f"gc floor {floor} beyond published watermark {state.published}"
+            )
+        if floor < state.gc_floor:
+            raise BlobError(f"gc floor must be monotone ({floor} < {state.gc_floor})")
+        state.gc_floor = floor

@@ -1,0 +1,15 @@
+"""BSFS: Hadoop-style file system layered over BlobSeer (paper §IV)."""
+
+from repro.bsfs.cache import BlockReadCache, WriteBuffer
+from repro.bsfs.filesystem import BSFSFileSystem, BSFSReadStream, BSFSWriteStream
+from repro.bsfs.namespace import FileEntry, NamespaceManager
+
+__all__ = [
+    "BSFSFileSystem",
+    "BSFSReadStream",
+    "BSFSWriteStream",
+    "NamespaceManager",
+    "FileEntry",
+    "BlockReadCache",
+    "WriteBuffer",
+]

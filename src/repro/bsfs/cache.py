@@ -1,0 +1,160 @@
+"""Client-side caching (paper §IV-B).
+
+"Hadoop manipulates data sequentially in small chunks of a few KB
+(usually, 4 KB) at a time" — so both HDFS and BSFS buffer client I/O:
+
+* reads *prefetch a whole block* when the requested data is not cached;
+* writes are *delayed until a whole block has been filled*.
+
+These two mechanisms are implemented here generically over callback
+functions, so the BSFS client, the HDFS client and the simulated
+clients all share them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.errors import InvalidRange
+
+__all__ = ["BlockReadCache", "WriteBuffer"]
+
+
+class BlockReadCache:
+    """Whole-block prefetching read cache (LRU).
+
+    Args:
+        fetch_block: ``fetch_block(index) -> bytes`` reading one whole
+            block from the backend (trailing block may be short).
+        block_size: striping unit.
+        file_size: immutable size of the snapshot being read.
+        capacity: number of blocks kept (Hadoop keeps ~1; a little more
+            helps the MapReduce record reader cross block boundaries).
+    """
+
+    def __init__(
+        self,
+        fetch_block: Callable[[int], bytes],
+        block_size: int,
+        file_size: int,
+        capacity: int = 2,
+    ):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if file_size < 0:
+            raise ValueError("file_size must be >= 0")
+        self._fetch = fetch_block
+        self.block_size = block_size
+        self.file_size = file_size
+        self.capacity = capacity
+        self._blocks: OrderedDict[int, bytes] = OrderedDict()
+        #: Number of backend block fetches (cache-miss counter).
+        self.fetches = 0
+
+    def _block(self, index: int) -> bytes:
+        if index in self._blocks:
+            self._blocks.move_to_end(index)
+            return self._blocks[index]
+        data = self._fetch(index)
+        self.fetches += 1
+        expected = min(self.block_size, self.file_size - index * self.block_size)
+        if len(data) != expected:
+            raise InvalidRange(
+                f"backend returned {len(data)}B for block {index}, expected {expected}B"
+            )
+        self._blocks[index] = data
+        if len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+        return data
+
+    def pread(self, offset: int, size: int) -> bytes:
+        """Read ``[offset, offset+size)``, prefetching whole blocks."""
+        if offset < 0 or size < 0 or offset + size > self.file_size:
+            raise InvalidRange(
+                f"read [{offset}, {offset + size}) outside file of {self.file_size}B"
+            )
+        if size == 0:
+            return b""
+        parts = []
+        position = offset
+        remaining = size
+        while remaining > 0:
+            index = position // self.block_size
+            start = position - index * self.block_size
+            take = min(self.block_size - start, remaining)
+            parts.append(self._block(index)[start : start + take])
+            position += take
+            remaining -= take
+        return b"".join(parts)
+
+
+class WriteBuffer:
+    """Write-behind block buffer.
+
+    Accumulates client writes and commits them in whole-block units via
+    ``commit(offset, data)``; a trailing partial block is committed only
+    at :meth:`close` ("it delays committing writes until a whole block
+    has been filled in the cache").
+
+    Supports resuming at an unaligned size (the BSFS append path): the
+    caller passes the trailing partial bytes as ``initial_tail`` and the
+    first commit rewrites them together with the new data at the aligned
+    offset — a read-modify-write entirely contained in the client.
+    """
+
+    def __init__(
+        self,
+        commit: Callable[[int, bytes], None],
+        block_size: int,
+        committed: int = 0,
+        initial_tail: bytes = b"",
+    ):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if committed % block_size != 0:
+            raise ValueError(
+                f"committed watermark {committed} not aligned to {block_size}"
+            )
+        if len(initial_tail) >= block_size:
+            raise ValueError("initial_tail must be shorter than one block")
+        self._commit = commit
+        self.block_size = block_size
+        self._committed = committed
+        self._buffer = bytearray(initial_tail)
+        self._closed = False
+        #: Number of backend commit calls (write-batching counter).
+        self.commits = 0
+
+    @property
+    def size(self) -> int:
+        """Logical file size including uncommitted buffered bytes."""
+        return self._committed + len(self._buffer)
+
+    def write(self, data: bytes) -> None:
+        """Buffer *data*, committing any newly completed whole blocks."""
+        if self._closed:
+            raise ValueError("write to a closed buffer")
+        self._buffer.extend(data)
+        full = (len(self._buffer) // self.block_size) * self.block_size
+        if full:
+            chunk = bytes(self._buffer[:full])
+            del self._buffer[:full]
+            self._commit(self._committed, chunk)
+            self.commits += 1
+            self._committed += full
+
+    def close(self) -> int:
+        """Commit any trailing partial block; returns the final size."""
+        if self._closed:
+            return self._committed
+        self._closed = True
+        if self._buffer:
+            chunk = bytes(self._buffer)
+            self._buffer.clear()
+            self._commit(self._committed, chunk)
+            self.commits += 1
+            self._committed += len(chunk)
+        return self._committed

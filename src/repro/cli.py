@@ -1,0 +1,79 @@
+"""Command-line interface.
+
+Regenerate any figure of the paper's evaluation::
+
+    repro figure 3a            # quick scale (small cluster, seconds)
+    repro figure 4 --full      # the paper's 270-node deployment
+    repro figure all --full
+    repro calibration          # dump the platform constants
+
+``python -m repro.cli ...`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.deploy.platform import DEFAULT_CALIBRATION
+from repro.harness import ALL_FIGURES, FULL, QUICK, render_figure
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "BlobSeer reproduction (IPDPS 2010): regenerate the paper's "
+            "evaluation figures on the simulated Grid'5000 platform."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one figure (or 'all')")
+    figure.add_argument(
+        "which",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="figure id from the paper",
+    )
+    figure.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full deployment sizes (slower)",
+    )
+    figure.add_argument("--seed", type=int, default=0, help="experiment seed")
+    figure.add_argument(
+        "--no-chart", action="store_true", help="table only, no ASCII chart"
+    )
+
+    sub.add_parser("calibration", help="print the platform calibration constants")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "calibration":
+        for field in dataclasses.fields(DEFAULT_CALIBRATION):
+            print(f"{field.name} = {getattr(DEFAULT_CALIBRATION, field.name)!r}")
+        return 0
+
+    scale = FULL if args.full else QUICK
+    which = sorted(ALL_FIGURES) if args.which == "all" else [args.which]
+    for figure_id in which:
+        started = time.time()
+        result = ALL_FIGURES[figure_id](scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(render_figure(result, chart=not args.no_chart))
+        print(f"[{scale.name} scale, computed in {elapsed:.1f}s wall time]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

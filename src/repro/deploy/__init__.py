@@ -1,0 +1,36 @@
+"""Simulated deployments: BlobSeer/HDFS/Hadoop services on the DES cluster."""
+
+from repro.deploy.blobseer import SimBlobSeer
+from repro.deploy.deployment import (
+    MapReduceDeployment,
+    MicrobenchDeployment,
+    deploy_mapreduce,
+    deploy_microbench,
+)
+from repro.deploy.hadoop import (
+    BlobSeerAdapter,
+    HdfsAdapter,
+    JobProfile,
+    SimHadoop,
+    StorageAdapter,
+)
+from repro.deploy.hdfs import CHUNK_STALL, DATANODE_INGEST, SimHDFS
+from repro.deploy.platform import DEFAULT_CALIBRATION, Calibration
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "SimBlobSeer",
+    "SimHDFS",
+    "DATANODE_INGEST",
+    "CHUNK_STALL",
+    "SimHadoop",
+    "JobProfile",
+    "StorageAdapter",
+    "BlobSeerAdapter",
+    "HdfsAdapter",
+    "MicrobenchDeployment",
+    "MapReduceDeployment",
+    "deploy_microbench",
+    "deploy_mapreduce",
+]

@@ -1,0 +1,6 @@
+"""Distributed hash table substrate (metadata-provider storage)."""
+
+from repro.dht.ring import HashRing, stable_hash
+from repro.dht.store import Bucket, DhtStore
+
+__all__ = ["HashRing", "stable_hash", "Bucket", "DhtStore"]

@@ -1,0 +1,130 @@
+"""Replicated key-value store over a hash ring.
+
+This is the functional-layer DHT used by BlobSeer's metadata providers:
+a set of named buckets (one per provider), a :class:`HashRing` deciding
+key placement, and write/read paths that tolerate bucket failures up to
+the replication level.  The simulated deployment re-uses the same ring
+logic but puts each bucket behind an RPC server.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.dht.ring import HashRing
+from repro.errors import ProviderUnavailable, ReplicationError
+
+__all__ = ["Bucket", "DhtStore"]
+
+
+class Bucket:
+    """One provider's local slice of the DHT: a dict with an on/off switch."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.online = True
+        self._items: dict[Hashable, object] = {}
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store *value* (immutable overwrite-forbidden discipline is the
+        caller's concern; the bucket itself is a plain map)."""
+        if not self.online:
+            raise ProviderUnavailable(f"bucket {self.name} is down")
+        self._items[key] = value
+
+    def get(self, key: Hashable) -> object:
+        """Fetch the value for *key*; KeyError if absent."""
+        if not self.online:
+            raise ProviderUnavailable(f"bucket {self.name} is down")
+        return self._items[key]
+
+    def delete(self, key: Hashable) -> None:
+        """Remove *key* if present (idempotent)."""
+        if not self.online:
+            raise ProviderUnavailable(f"bucket {self.name} is down")
+        self._items.pop(key, None)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.online and key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate stored keys (GC sweeps use this)."""
+        return iter(list(self._items.keys()))
+
+
+class DhtStore:
+    """Hash-ring-replicated store across named buckets.
+
+    Args:
+        bucket_names: provider names (20 metadata providers in the
+            paper's microbenchmark deployment).
+        replication: copies per key; reads fail over between them.
+    """
+
+    def __init__(self, bucket_names: list[str], replication: int = 1, vnodes: int = 64):
+        if not bucket_names:
+            raise ValueError("DhtStore needs at least one bucket")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+        self.buckets = {name: Bucket(name) for name in bucket_names}
+        self.ring = HashRing(bucket_names, vnodes=vnodes)
+
+    def owners(self, key: Hashable) -> list[str]:
+        """Replica set (bucket names) responsible for *key*."""
+        return self.ring.replicas(key, self.replication)
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Write to every live replica; fails if none is reachable."""
+        wrote = 0
+        for name in self.owners(key):
+            bucket = self.buckets[name]
+            if bucket.online:
+                bucket.put(key, value)
+                wrote += 1
+        if wrote == 0:
+            raise ReplicationError(f"no live replica for key {key!r}")
+
+    def get(self, key: Hashable) -> object:
+        """Read from the first live replica holding the key."""
+        missing = False
+        for name in self.owners(key):
+            bucket = self.buckets[name]
+            if not bucket.online:
+                continue
+            try:
+                return bucket.get(key)
+            except KeyError:
+                missing = True
+        if missing:
+            raise KeyError(key)
+        raise ProviderUnavailable(f"all replicas for {key!r} are down")
+
+    def delete(self, key: Hashable) -> None:
+        """Delete from all live replicas (used by the GC sweep)."""
+        for name in self.owners(key):
+            bucket = self.buckets[name]
+            if bucket.online:
+                bucket.delete(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        try:
+            self.get(key)
+            return True
+        except (KeyError, ProviderUnavailable):
+            return False
+
+    def fail_bucket(self, name: str) -> None:
+        """Failure injection: mark one bucket offline."""
+        self.buckets[name].online = False
+
+    def recover_bucket(self, name: str) -> None:
+        """Bring a failed bucket back (its old content is intact)."""
+        self.buckets[name].online = True
+
+    def load_by_bucket(self) -> dict[str, int]:
+        """Stored item count per bucket (balance diagnostics)."""
+        return {name: len(bucket) for name, bucket in self.buckets.items()}

@@ -1,0 +1,167 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+The tree mirrors the subsystem boundaries: generic :class:`ReproError` at
+the root, one branch per service (blob store, file systems, MapReduce,
+simulation).  Catching ``ReproError`` is always safe for "anything this
+library raised on purpose".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "BlobError",
+    "BlobNotFound",
+    "VersionNotFound",
+    "VersionNotReady",
+    "InvalidRange",
+    "WriteConflict",
+    "ProviderError",
+    "ProviderUnavailable",
+    "ReplicationError",
+    "FileSystemError",
+    "FileNotFound",
+    "FileAlreadyExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "LeaseConflict",
+    "AppendNotSupported",
+    "ReadOnlyFile",
+    "MapReduceError",
+    "JobFailed",
+    "TaskFailed",
+    "SimulationError",
+    "Interrupt",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception deliberately raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# BlobSeer core
+# --------------------------------------------------------------------------
+
+
+class BlobError(ReproError):
+    """Base class for errors raised by the BlobSeer data service."""
+
+
+class BlobNotFound(BlobError, KeyError):
+    """The requested BLOB id does not exist."""
+
+
+class VersionNotFound(BlobError, KeyError):
+    """The requested snapshot version does not exist (or was garbage-collected)."""
+
+
+class VersionNotReady(BlobError):
+    """The snapshot exists but has not been revealed to readers yet.
+
+    Raised when a client explicitly asks for a version whose metadata (or
+    a lower version's metadata) is still being woven; see paper §III-A.5
+    on linearizability: snapshots are published strictly in version order.
+    """
+
+
+class InvalidRange(BlobError, ValueError):
+    """Offset/size pair outside the addressable range of the snapshot."""
+
+
+class WriteConflict(BlobError):
+    """A write could not be serialized (should not happen by design).
+
+    BlobSeer's claim is write/write concurrency *by design*; this error
+    only surfaces when invariants are violated, e.g. a test harness
+    injects a duplicate version number.
+    """
+
+
+class ProviderError(BlobError):
+    """A data or metadata provider failed to service a request."""
+
+
+class ProviderUnavailable(ProviderError):
+    """The provider is offline (failure injection or decommissioned)."""
+
+
+class ReplicationError(BlobError):
+    """Not enough live providers to satisfy the requested replication level."""
+
+
+# --------------------------------------------------------------------------
+# File-system layers (BSFS and the HDFS baseline)
+# --------------------------------------------------------------------------
+
+
+class FileSystemError(ReproError):
+    """Base class for namespace/file-system errors."""
+
+
+class FileNotFound(FileSystemError, KeyError):
+    """Path does not exist."""
+
+
+class FileAlreadyExists(FileSystemError):
+    """Create refused because the path already exists."""
+
+
+class NotADirectory(FileSystemError):
+    """A path component used as a directory is a regular file."""
+
+
+class IsADirectory(FileSystemError):
+    """File operation attempted on a directory."""
+
+
+class DirectoryNotEmpty(FileSystemError):
+    """Non-recursive delete of a non-empty directory."""
+
+
+class LeaseConflict(FileSystemError):
+    """HDFS single-writer rule violated: the file is already open for write."""
+
+
+class AppendNotSupported(FileSystemError):
+    """The file system does not implement append (HDFS baseline, §V-F)."""
+
+
+class ReadOnlyFile(FileSystemError):
+    """HDFS write-once rule violated: closed files are immutable."""
+
+
+# --------------------------------------------------------------------------
+# MapReduce engine
+# --------------------------------------------------------------------------
+
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce engine errors."""
+
+
+class JobFailed(MapReduceError):
+    """The job exhausted task retries and was aborted."""
+
+
+class TaskFailed(MapReduceError):
+    """A single map/reduce attempt raised; may be retried by the jobtracker."""
+
+
+# --------------------------------------------------------------------------
+# Discrete-event simulation
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the discrete-event engine."""
+
+
+class Interrupt(SimulationError):
+    """Thrown into a simulated process that another process interrupted."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        #: Arbitrary value passed by the interrupting process.
+        self.cause = cause

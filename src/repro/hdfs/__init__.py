@@ -1,0 +1,23 @@
+"""HDFS baseline: namenode, datanodes, single-writer write-once files."""
+
+from repro.hdfs.datanode import DatanodeCore
+from repro.hdfs.filesystem import (
+    DEFAULT_CHUNK_SIZE,
+    HDFSFileSystem,
+    HDFSReadStream,
+    HDFSWriteStream,
+)
+from repro.hdfs.namenode import ChunkInfo, HdfsFileMeta, NamenodeCore
+from repro.hdfs.placement import HdfsPlacementPolicy
+
+__all__ = [
+    "HDFSFileSystem",
+    "HDFSReadStream",
+    "HDFSWriteStream",
+    "DEFAULT_CHUNK_SIZE",
+    "NamenodeCore",
+    "ChunkInfo",
+    "HdfsFileMeta",
+    "DatanodeCore",
+    "HdfsPlacementPolicy",
+]

@@ -1,0 +1,38 @@
+"""Hadoop-style MapReduce engine with locality-aware scheduling."""
+
+from repro.mapreduce.io import (
+    FileSplit,
+    Split,
+    SyntheticSplit,
+    compute_file_splits,
+    iter_lines,
+    write_text_records,
+)
+from repro.mapreduce.job import Emitter, JobConf
+from repro.mapreduce.jobtracker import (
+    ScheduleStats,
+    TaskAssignment,
+    schedule_map_tasks,
+)
+from repro.mapreduce.runtime import JobResult, LocalJobRunner
+from repro.mapreduce.tasks import MapOutput, partition_for, run_map_task, run_reduce_task
+
+__all__ = [
+    "JobConf",
+    "Emitter",
+    "FileSplit",
+    "SyntheticSplit",
+    "Split",
+    "compute_file_splits",
+    "iter_lines",
+    "write_text_records",
+    "schedule_map_tasks",
+    "TaskAssignment",
+    "ScheduleStats",
+    "MapOutput",
+    "partition_for",
+    "run_map_task",
+    "run_reduce_task",
+    "LocalJobRunner",
+    "JobResult",
+]

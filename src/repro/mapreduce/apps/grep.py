@@ -1,0 +1,55 @@
+"""Distributed grep (paper §V-G, Figure 6(b)).
+
+"The application scans a huge text input file for occurrences of a
+particular expression and counts the number of lines where the
+expression occurs.  Mappers simply output the value of these counters,
+then the reducers sum up the all the outputs of the mappers."
+
+Access pattern: concurrent reads from the same shared file — the
+workload where BSFS's balanced layout beats HDFS by 35-38 %.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.mapreduce.job import Emitter, JobConf
+
+__all__ = ["grep_job", "MATCH_KEY"]
+
+#: Reducer key under which matching-line counts are summed.
+MATCH_KEY = "matching-lines"
+
+
+def grep_job(
+    input_paths: Sequence[str],
+    output_dir: str,
+    pattern: str,
+    split_size: int | None = None,
+) -> JobConf:
+    """Build the distributed-grep job for a regular expression."""
+    compiled = re.compile(pattern)
+
+    def mapper(_offset, line: str, emit: Emitter) -> None:
+        if compiled.search(line) is not None:
+            emit(MATCH_KEY, 1)
+
+    def combiner(key, values, emit: Emitter) -> None:
+        # Per-mapper counter: collapses per-line 1s into one count, so
+        # mappers "simply output the value of these counters".
+        emit(key, sum(values))
+
+    def reducer(key, values, emit: Emitter) -> None:
+        emit(key, sum(values))
+
+    return JobConf(
+        name=f"grep[{pattern}]",
+        output_dir=output_dir,
+        mapper=mapper,
+        combiner=combiner,
+        reducer=reducer,
+        input_paths=tuple(input_paths),
+        num_reducers=1,
+        split_size=split_size,
+    )

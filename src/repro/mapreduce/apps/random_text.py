@@ -1,0 +1,73 @@
+"""RandomTextWriter (paper §V-G, Figure 6(a)).
+
+"The application launches a fixed number of mappers, each of which
+generates a huge sequence of random sentences formed from a list of
+predefined words.  The reduce phase is missing altogether: the output
+of each of the mappers is stored as a separate file."
+
+The access pattern is what matters: concurrent, massively parallel
+writes, each mapper to its own file.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import Emitter, JobConf
+from repro.util.bytesize import parse_size
+from repro.util.rng import derive_rng
+
+__all__ = ["WORDS", "random_sentence", "random_text_job"]
+
+#: The predefined vocabulary (Hadoop's RandomTextWriter ships a fixed
+#: word list; any fixed list reproduces the workload shape).
+WORDS = (
+    "diurnalness habitudinal spermaphyte percent dolorous diffusible "
+    "inexistency cubby overclement cervisial amatorially beadroll "
+    "stormy airship pleasurehood chorograph nonrepetition crystallize "
+    "unafraid precostal bromate pendular stereotypical squdge "
+    "disfavour graphics kilocycle blurredness discipular unmarred "
+    "weariful unlapsing sportswoman salt abdominous configuration "
+    "undershrub workmanship blaze causticity rebellion momentous "
+    "hexahedral muddlehead storage throughput concurrency versioning "
+    "snapshot provider metadata segment balanced scatter append"
+).split()
+
+
+def random_sentence(rng, min_words: int = 10, max_words: int = 20) -> str:
+    """One random sentence from the predefined vocabulary."""
+    count = int(rng.integers(min_words, max_words + 1))
+    picks = rng.integers(0, len(WORDS), size=count)
+    return " ".join(WORDS[i] for i in picks)
+
+
+def random_text_job(
+    output_dir: str,
+    num_mappers: int,
+    bytes_per_mapper: int | str,
+    seed: int = 0,
+) -> JobConf:
+    """Build the RandomTextWriter job.
+
+    Each mapper emits random sentences until it has produced
+    ``bytes_per_mapper`` of text.  Deterministic per ``(seed, mapper)``.
+    """
+    target = parse_size(bytes_per_mapper)
+    if num_mappers < 1:
+        raise ValueError("num_mappers must be >= 1")
+    if target < 1:
+        raise ValueError("bytes_per_mapper must be >= 1")
+
+    def mapper(key, _value: str, emit: Emitter) -> None:
+        rng = derive_rng(seed, int(key))
+        produced = 0
+        while produced < target:
+            sentence = random_sentence(rng)
+            emit(None, sentence)
+            produced += len(sentence) + 1  # newline
+
+    return JobConf(
+        name="random-text-writer",
+        output_dir=output_dir,
+        mapper=mapper,
+        synthetic_maps=num_mappers,
+        reducer=None,
+    )

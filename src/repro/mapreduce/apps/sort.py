@@ -1,0 +1,103 @@
+"""Distributed sort: Hadoop's canonical total-order job.
+
+The classic two-piece recipe (Hadoop's ``Sort`` example with
+``TotalOrderPartitioner`` + ``InputSampler``):
+
+1. **sample** the input's keys and derive ``num_reducers - 1`` quantile
+   cut points;
+2. run an identity map with a **range partitioner** built from the cut
+   points, so reducer *i* receives exactly the keys in its range; each
+   reducer's input arrives key-sorted, hence the concatenation of
+   ``part-r-*`` files in partition order is globally sorted.
+
+Records are text lines; the sort key is the line itself.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.fsapi import FileSystem
+from repro.mapreduce.io import compute_file_splits, iter_lines
+from repro.mapreduce.job import Emitter, JobConf
+
+__all__ = ["sample_cut_points", "range_partitioner", "sort_job"]
+
+
+def sample_cut_points(
+    fs: FileSystem,
+    input_paths: Sequence[str],
+    num_reducers: int,
+    sample_records: int = 100,
+) -> list[str]:
+    """Quantile cut points from a prefix sample of every input split.
+
+    Mirrors Hadoop's ``InputSampler.SplitSampler``: read up to
+    ``sample_records`` records from the head of each split, sort the
+    sample, pick ``num_reducers - 1`` evenly spaced keys.
+    """
+    if num_reducers < 1:
+        raise ValueError("num_reducers must be >= 1")
+    if sample_records < 1:
+        raise ValueError("sample_records must be >= 1")
+    if num_reducers == 1:
+        return []
+    sample: list[str] = []
+    splits = compute_file_splits(fs, list(input_paths), fs.block_size)
+    for split in splits:
+        with fs.open(split.path) as stream:
+            taken = 0
+            for _offset, line in iter_lines(stream, split.offset, split.length):
+                sample.append(line)
+                taken += 1
+                if taken >= sample_records:
+                    break
+    if not sample:
+        return []
+    sample.sort()
+    cuts = []
+    for i in range(1, num_reducers):
+        cuts.append(sample[(i * len(sample)) // num_reducers])
+    # Duplicate cut points collapse partitions but stay correct.
+    return cuts
+
+
+def range_partitioner(cut_points: Sequence[str]):
+    """``partitioner(key, R)``: index of the range *key* falls into."""
+    cuts = list(cut_points)
+
+    def partition(key, num_reducers: int) -> int:
+        return min(bisect.bisect_right(cuts, key), num_reducers - 1)
+
+    return partition
+
+
+def sort_job(
+    fs: FileSystem,
+    input_paths: Sequence[str],
+    output_dir: str,
+    num_reducers: int = 4,
+    sample_records: int = 100,
+    split_size: int | None = None,
+) -> JobConf:
+    """Build the total-order sort job (samples the input now)."""
+
+    def mapper(_offset, line: str, emit: Emitter) -> None:
+        emit(line, "")
+
+    def reducer(key, values, emit: Emitter) -> None:
+        for _ in values:  # preserve duplicates
+            emit(None, key)
+
+    cuts = sample_cut_points(fs, input_paths, num_reducers, sample_records)
+    return JobConf(
+        name="total-order-sort",
+        output_dir=output_dir,
+        mapper=mapper,
+        reducer=reducer,
+        input_paths=tuple(input_paths),
+        num_reducers=num_reducers,
+        partitioner=range_partitioner(cuts),
+        split_size=split_size,
+    )

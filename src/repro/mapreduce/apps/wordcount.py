@@ -1,0 +1,41 @@
+"""WordCount: the canonical MapReduce example.
+
+Not part of the paper's evaluation, but the standard smoke-test for a
+MapReduce engine and a natural third example application: it exercises
+multi-reducer shuffles, combiners and text output end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mapreduce.job import Emitter, JobConf
+
+__all__ = ["wordcount_job"]
+
+
+def wordcount_job(
+    input_paths: Sequence[str],
+    output_dir: str,
+    num_reducers: int = 2,
+    split_size: int | None = None,
+) -> JobConf:
+    """Count word occurrences across the input files."""
+
+    def mapper(_offset, line: str, emit: Emitter) -> None:
+        for word in line.split():
+            emit(word, 1)
+
+    def reducer(key, values, emit: Emitter) -> None:
+        emit(key, sum(values))
+
+    return JobConf(
+        name="wordcount",
+        output_dir=output_dir,
+        mapper=mapper,
+        combiner=reducer,  # sum is associative: reducer doubles as combiner
+        reducer=reducer,
+        input_paths=tuple(input_paths),
+        num_reducers=num_reducers,
+        split_size=split_size,
+    )

@@ -1,0 +1,78 @@
+"""Job definitions for the MapReduce engine.
+
+Mirrors Hadoop's job configuration surface at the scale this
+reproduction needs: input paths (or synthetic generator maps, for
+RandomTextWriter-style jobs), a mapper, an optional combiner and
+reducer, a reducer count, and a split size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["Emitter", "JobConf"]
+
+
+class Emitter:
+    """Collects ``emit(key, value)`` pairs from mappers/reducers."""
+
+    def __init__(self) -> None:
+        self.pairs: list[tuple[object, object]] = []
+
+    def __call__(self, key: object, value: object) -> None:
+        """Record one output pair."""
+        self.pairs.append((key, value))
+
+
+#: ``mapper(key, value, emit)`` — for text input, key is the line's byte
+#: offset and value the line (without newline); for synthetic maps, key
+#: is the map index and value ''.
+MapperFn = Callable[[object, str, Emitter], None]
+#: ``reducer(key, values, emit)`` — values arrive grouped and sorted.
+ReducerFn = Callable[[object, list, Emitter], None]
+
+
+@dataclass
+class JobConf:
+    """One MapReduce job.
+
+    Exactly one of ``input_paths`` / ``synthetic_maps`` drives the map
+    phase: file inputs are split by block for locality scheduling;
+    synthetic maps are generator tasks with no input (the paper's
+    RandomTextWriter launches "a fixed number of mappers" that produce
+    data from nothing).
+    """
+
+    name: str
+    output_dir: str
+    mapper: MapperFn
+    input_paths: Sequence[str] = field(default_factory=tuple)
+    synthetic_maps: int = 0
+    reducer: Optional[ReducerFn] = None
+    combiner: Optional[ReducerFn] = None
+    num_reducers: int = 1
+    split_size: Optional[int] = None
+    #: ``partitioner(key, num_reducers) -> partition``; None = Hadoop's
+    #: HashPartitioner.  Range partitioners (TotalOrderPartitioner)
+    #: make concatenated reducer outputs globally sorted.
+    partitioner: Optional[Callable[[object, int], int]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job needs a name")
+        if bool(self.input_paths) == bool(self.synthetic_maps):
+            raise ValueError(
+                "exactly one of input_paths / synthetic_maps must be set"
+            )
+        if self.synthetic_maps < 0:
+            raise ValueError("synthetic_maps must be >= 0")
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        if self.reducer is None and self.combiner is not None:
+            raise ValueError("a combiner without a reducer is meaningless")
+
+    @property
+    def is_map_only(self) -> bool:
+        """Map-only jobs write mapper output straight to part-m files."""
+        return self.reducer is None

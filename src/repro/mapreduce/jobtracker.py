@@ -1,0 +1,113 @@
+"""Locality-aware task scheduling (the jobtracker's core decision).
+
+"Hadoop's job scheduler (the jobtracker) places computations as close
+as possible to the data" (paper §II-B); tasks that land on a node
+storing their input block are *local maps*, the rest are *remote maps*
+(§V-E).  The wave-based greedy scheduler here is shared verbatim by the
+functional runner (for locality statistics) and the simulated Hadoop
+deployment (where placement decides which NICs carry the reads — the
+effect Figure 6(b) measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mapreduce.io import Split
+
+__all__ = ["TaskAssignment", "ScheduleStats", "schedule_map_tasks"]
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """One map task placed on one tasktracker."""
+
+    task_index: int
+    split: Split
+    tracker: str
+    is_local: bool
+    wave: int
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate placement quality of one schedule."""
+
+    total: int
+    local: int
+    remote: int
+    waves: int
+
+    @property
+    def locality(self) -> float:
+        """Fraction of local maps (1.0 = perfect affinity)."""
+        return self.local / self.total if self.total else 1.0
+
+
+def schedule_map_tasks(
+    splits: Sequence[Split],
+    trackers: Sequence[str],
+    slots_per_tracker: int = 2,
+) -> tuple[list[TaskAssignment], ScheduleStats]:
+    """Assign every split to a tracker in waves, preferring local data.
+
+    Emulates Hadoop's pull model: each wave, every tracker asks for up
+    to ``slots_per_tracker`` tasks; the jobtracker hands it a task whose
+    input is local if one remains, otherwise an arbitrary pending task.
+
+    Returns the assignments (in execution order) and placement stats.
+    """
+    if not trackers:
+        raise ValueError("no tasktrackers")
+    if slots_per_tracker < 1:
+        raise ValueError("slots_per_tracker must be >= 1")
+    pending: dict[int, Split] = dict(enumerate(splits))
+    # Pre-index pending tasks by host for O(1) local lookups.
+    by_host: dict[str, list[int]] = {}
+    for index, split in pending.items():
+        for host in split.hosts:
+            by_host.setdefault(host, []).append(index)
+
+    assignments: list[TaskAssignment] = []
+    local = 0
+    wave = 0
+    while pending:
+        progressed = False
+        for _slot in range(slots_per_tracker):
+            for tracker in trackers:
+                if not pending:
+                    break
+                # Prefer a task whose data lives on this tracker.
+                task_index = None
+                queue = by_host.get(tracker, [])
+                while queue:
+                    candidate = queue.pop(0)
+                    if candidate in pending:
+                        task_index = candidate
+                        break
+                is_local = task_index is not None
+                if task_index is None:
+                    task_index = next(iter(pending))
+                split = pending.pop(task_index)
+                local += int(is_local)
+                assignments.append(
+                    TaskAssignment(
+                        task_index=task_index,
+                        split=split,
+                        tracker=tracker,
+                        is_local=is_local,
+                        wave=wave,
+                    )
+                )
+                progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            raise RuntimeError("scheduler made no progress")
+        wave += 1
+    stats = ScheduleStats(
+        total=len(assignments),
+        local=local,
+        remote=len(assignments) - local,
+        waves=wave,
+    )
+    return assignments, stats

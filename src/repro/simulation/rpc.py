@@ -1,0 +1,151 @@
+"""Request/response messaging between simulated services.
+
+A :class:`RpcServer` lives on a :class:`~repro.simulation.cluster.SimNode`
+and serves requests from a FIFO inbox with a configurable number of
+worker processes.  ``concurrency=1`` turns a server into a serialization
+point — exactly how the paper's *version manager* is modelled, since
+version-number assignment is "the only step in the writing process where
+concurrent requests are serialized" (§III-A.4).
+
+Handlers are plain functions or generator functions; generator handlers
+may yield further simulation events (disk I/O, nested RPCs), composing
+naturally with the engine.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ProviderUnavailable, SimulationError
+from repro.simulation.cluster import SimNode
+from repro.simulation.engine import Engine, Event
+from repro.simulation.resources import Store
+
+__all__ = ["RpcServer", "Reply", "call", "DEFAULT_RPC_BYTES"]
+
+#: Default on-wire size of a control message (request or response
+#: headers, ids, offsets...).  Small, so control traffic is latency-bound.
+DEFAULT_RPC_BYTES = 512.0
+
+
+@dataclass
+class Reply:
+    """Handler return value carrying an explicit on-wire response size."""
+
+    value: Any
+    size: float = DEFAULT_RPC_BYTES
+
+
+class RpcServer:
+    """A named service with FIFO inbox and ``concurrency`` workers.
+
+    Args:
+        node: hosting machine (requests travel over its NIC).
+        name: service name for diagnostics.
+        handler: ``fn(payload)`` returning a value, a :class:`Reply`, or
+            a generator yielding simulation events before returning one.
+        service_time: fixed CPU cost charged per request before the
+            handler runs (models request parsing/bookkeeping).
+        concurrency: number of worker processes draining the inbox.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        name: str,
+        handler: Callable[[Any], Any],
+        service_time: float = 2e-5,
+        concurrency: int = 1,
+    ):
+        if service_time < 0:
+            raise ValueError("service_time must be >= 0")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.node = node
+        self.name = name
+        self.handler = handler
+        self.service_time = service_time
+        self.concurrency = concurrency
+        self.inbox = Store(node.engine)
+        self.requests_served = 0
+        self.busy_time = 0.0
+        self._workers = [
+            node.engine.process(self._worker(), name=f"{name}-worker-{i}")
+            for i in range(concurrency)
+        ]
+
+    @property
+    def engine(self) -> Engine:
+        """Engine of the hosting node."""
+        return self.node.engine
+
+    @property
+    def online(self) -> bool:
+        """Service is reachable iff its node is online."""
+        return self.node.online
+
+    def _worker(self) -> Generator:
+        while True:
+            payload, reply_event = yield self.inbox.get()
+            started = self.engine.now
+            if not self.node.online:
+                if not reply_event.triggered:
+                    reply_event.fail(
+                        ProviderUnavailable(f"{self.name} on {self.node.name} is down")
+                    )
+                continue
+            try:
+                if self.service_time:
+                    yield self.engine.timeout(self.service_time)
+                result = self.handler(payload)
+                if inspect.isgenerator(result):
+                    result = yield from result
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                if not reply_event.triggered:
+                    reply_event.fail(exc)
+                continue
+            finally:
+                self.busy_time += self.engine.now - started
+            self.requests_served += 1
+            if not reply_event.triggered:
+                reply_event.succeed(result)
+
+
+def call(
+    client: SimNode,
+    server: RpcServer,
+    payload: Any,
+    request_size: float = DEFAULT_RPC_BYTES,
+    response_size: Optional[float] = None,
+    rate_cap: Optional[float] = None,
+) -> Generator:
+    """Generator helper performing one RPC; ``yield from`` it.
+
+    Sequence: request bytes travel client→server, the request queues at
+    the server, a worker runs the handler, response bytes travel back.
+    Returns the handler's value; re-raises handler exceptions at the
+    call site.  If the handler returned a :class:`Reply`, its ``size``
+    overrides *response_size*.  ``rate_cap`` bounds the bulk transfer
+    rate in both directions (single-stream client ceiling).
+    """
+    if client.engine is not server.engine:
+        raise SimulationError("client and server belong to different engines")
+    network = client.cluster.network
+    if not server.online:
+        # The caller still pays a latency to discover the silence.
+        yield client.engine.timeout(network.latency)
+        raise ProviderUnavailable(f"{server.name} on {server.node.name} is down")
+    yield network.transfer(client.name, server.node.name, request_size, rate_cap=rate_cap)
+    reply_event = Event(client.engine)
+    yield server.inbox.put((payload, reply_event))
+    result = yield reply_event
+    if isinstance(result, Reply):
+        size = result.size
+        value = result.value
+    else:
+        size = DEFAULT_RPC_BYTES if response_size is None else response_size
+        value = result
+    yield network.transfer(server.node.name, client.name, size, rate_cap=rate_cap)
+    return value

@@ -1,0 +1,121 @@
+"""Measurement instruments for simulated experiments.
+
+The harness needs the same numbers the paper plots: per-client and
+aggregate throughput over an interval, time series of events, and simple
+counters.  Everything here is passive — recording does not perturb the
+simulation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulation.engine import Engine
+
+__all__ = ["Recorder", "IntervalThroughput", "Span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named closed interval of simulated time with a byte count."""
+
+    name: str
+    start: float
+    end: float
+    nbytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in seconds."""
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        """Bytes per second over the span (0 for empty spans)."""
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
+
+
+@dataclass
+class IntervalThroughput:
+    """Aggregate throughput computed from a set of spans.
+
+    ``aggregate`` divides total bytes by the wall interval (earliest
+    start to latest end) — the paper's "aggregated throughput" in
+    Figure 5.  ``per_client_mean`` averages each span's own rate — the
+    "average throughput per client" in Figures 3(a)/4.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+
+    def add(self, span: Span) -> None:
+        """Record one client-level operation span."""
+        self.spans.append(span)
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of bytes across spans."""
+        return sum(s.nbytes for s in self.spans)
+
+    @property
+    def wall_interval(self) -> float:
+        """Earliest start to latest end across spans."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    @property
+    def aggregate(self) -> float:
+        """Total bytes over the wall interval (bytes/second)."""
+        wall = self.wall_interval
+        return self.total_bytes / wall if wall > 0 else 0.0
+
+    @property
+    def per_client_mean(self) -> float:
+        """Mean of each span's own throughput (bytes/second)."""
+        if not self.spans:
+            return 0.0
+        return sum(s.throughput for s in self.spans) / len(self.spans)
+
+
+class Recorder:
+    """Counters, gauges and span collection bound to an engine clock."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.counters: dict[str, float] = defaultdict(float)
+        self.series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self._open_spans: dict[object, tuple[str, float]] = {}
+        self.spans: list[Span] = []
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Bump a counter."""
+        self.counters[name] += amount
+
+    def sample(self, name: str, value: float) -> None:
+        """Append ``(now, value)`` to a named time series."""
+        self.series[name].append((self.engine.now, value))
+
+    def span_start(self, key: object, name: str) -> None:
+        """Open a span identified by *key* (e.g. a client id)."""
+        self._open_spans[key] = (name, self.engine.now)
+
+    def span_end(self, key: object, nbytes: float = 0.0) -> Span:
+        """Close the span for *key* and record it."""
+        name, start = self._open_spans.pop(key)
+        span = Span(name=name, start=start, end=self.engine.now, nbytes=nbytes)
+        self.spans.append(span)
+        return span
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All closed spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def throughput(self, name: Optional[str] = None) -> IntervalThroughput:
+        """Interval-throughput view over (optionally name-filtered) spans."""
+        chosen = self.spans if name is None else self.spans_named(name)
+        view = IntervalThroughput()
+        for span in chosen:
+            view.add(span)
+        return view

@@ -1,0 +1,43 @@
+"""Shared utilities: byte sizes, block math, stats, deterministic RNG."""
+
+from repro.util.bytesize import GB, KB, MB, TB, format_size, parse_size
+from repro.util.chunks import (
+    BlockSlice,
+    align_down,
+    align_up,
+    block_count,
+    block_span,
+    iter_blocks,
+    split_range,
+)
+from repro.util.rng import SeedFactory, derive_rng
+from repro.util.stats import (
+    Summary,
+    harmonic_mean,
+    layout_vector,
+    manhattan_unbalance,
+    summarize,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "parse_size",
+    "format_size",
+    "BlockSlice",
+    "split_range",
+    "iter_blocks",
+    "block_count",
+    "block_span",
+    "align_down",
+    "align_up",
+    "SeedFactory",
+    "derive_rng",
+    "Summary",
+    "summarize",
+    "harmonic_mean",
+    "layout_vector",
+    "manhattan_unbalance",
+]

@@ -1,0 +1,87 @@
+"""Byte-size parsing and formatting.
+
+The paper speaks in ``64 MB`` blocks, ``4 KB`` records and ``GB`` files;
+experiment configs accept either plain integers (bytes) or strings such
+as ``"64MB"``, ``"6.4 GB"``, ``"117.5MB/s"`` (the trailing ``/s`` is
+tolerated so bandwidth constants read naturally).
+
+Units are binary powers (``KB = 2**10``) matching how HDFS/BlobSeer size
+their chunks; the decimal forms (``kB``) are not distinguished — the
+paper itself uses MB for 2**20.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["parse_size", "format_size", "KB", "MB", "GB", "TB"]
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+TB = 1 << 40
+
+_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "kib": KB,
+    "m": MB,
+    "mb": MB,
+    "mib": MB,
+    "g": GB,
+    "gb": GB,
+    "gib": GB,
+    "t": TB,
+    "tb": TB,
+    "tib": TB,
+}
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[a-zA-Z]*?)(?:/s)?\s*$"
+)
+
+
+def parse_size(value: int | float | str) -> int:
+    """Convert *value* to a whole number of bytes.
+
+    Accepts ints/floats (taken as bytes) or strings such as ``"64MB"``,
+    ``"6.4 GB"``, ``"4 KiB"``, ``"117.5 MB/s"``.  Fractional byte results
+    are rounded to the nearest byte.
+
+    >>> parse_size("64MB") == 64 * MB
+    True
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject it
+        raise TypeError("size must be a number or string, not bool")
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise ValueError(f"size must be non-negative, got {value!r}")
+        return round(value)
+    if not isinstance(value, str):
+        raise TypeError(f"size must be a number or string, got {type(value)!r}")
+    match = _SIZE_RE.match(value)
+    if match is None:
+        raise ValueError(f"unparseable size: {value!r}")
+    unit = match.group("unit").lower()
+    if unit not in _UNITS:
+        raise ValueError(f"unknown size unit {match.group('unit')!r} in {value!r}")
+    return round(float(match.group("num")) * _UNITS[unit])
+
+
+def format_size(num_bytes: int | float, precision: int = 1) -> str:
+    """Render *num_bytes* with the largest unit that keeps the value >= 1.
+
+    >>> format_size(64 * MB)
+    '64.0MB'
+    """
+    num = float(num_bytes)
+    sign = "-" if num < 0 else ""
+    num = abs(num)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if num >= factor:
+            return f"{sign}{num / factor:.{precision}f}{unit}"
+    return f"{sign}{num:.0f}B"

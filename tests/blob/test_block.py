@@ -1,0 +1,94 @@
+"""Tests for payloads and block descriptors."""
+
+import pytest
+
+from repro.blob import BlockDescriptor, BytesPayload, SyntheticPayload, concat
+
+
+class TestBytesPayload:
+    def test_size_and_bytes(self):
+        p = BytesPayload(b"hello world")
+        assert p.size == 11
+        assert p.is_real
+        assert p.tobytes() == b"hello world"
+
+    def test_slice(self):
+        p = BytesPayload(b"hello world")
+        assert p.slice(6, 5).tobytes() == b"world"
+
+    def test_slice_bounds(self):
+        p = BytesPayload(b"abc")
+        with pytest.raises(ValueError):
+            p.slice(1, 3)
+        with pytest.raises(ValueError):
+            p.slice(-1, 1)
+
+    def test_empty(self):
+        assert BytesPayload(b"").size == 0
+
+
+class TestSyntheticPayload:
+    def test_size_only(self):
+        p = SyntheticPayload(1 << 26, tag=("b", 1, 0))
+        assert p.size == 1 << 26
+        assert not p.is_real
+        assert p.tag == ("b", 1, 0)
+
+    def test_tobytes_refused(self):
+        with pytest.raises(TypeError):
+            SyntheticPayload(10).tobytes()
+
+    def test_slice_keeps_tag(self):
+        p = SyntheticPayload(100, tag="t").slice(10, 50)
+        assert p.size == 50 and p.tag == "t"
+
+    def test_slice_bounds(self):
+        with pytest.raises(ValueError):
+            SyntheticPayload(10).slice(5, 6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticPayload(-1)
+
+
+class TestConcat:
+    def test_all_real(self):
+        joined = concat([BytesPayload(b"ab"), BytesPayload(b"cd")])
+        assert joined.is_real and joined.tobytes() == b"abcd"
+
+    def test_mixed_degrades_to_synthetic(self):
+        joined = concat([BytesPayload(b"ab"), SyntheticPayload(5)])
+        assert not joined.is_real and joined.size == 7
+
+    def test_empty_list(self):
+        assert concat([]).tobytes() == b""
+
+
+class TestBlockDescriptor:
+    def _mk(self, **kw):
+        defaults = dict(
+            blob_id="b", version=1, index=0, size=64, providers=("p0",), nonce=7, seq=0
+        )
+        defaults.update(kw)
+        return BlockDescriptor(**defaults)
+
+    def test_block_id_uses_nonce_not_version(self):
+        d = self._mk(version=9, nonce=7, seq=2, index=5)
+        assert d.block_id == ("b", 7, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._mk(version=0)
+        with pytest.raises(ValueError):
+            self._mk(index=-1)
+        with pytest.raises(ValueError):
+            self._mk(size=0)
+        with pytest.raises(ValueError):
+            self._mk(providers=())
+        with pytest.raises(ValueError):
+            self._mk(seq=-1)
+
+    def test_frozen(self):
+        d = self._mk()
+        with pytest.raises(AttributeError):
+            d.size = 1

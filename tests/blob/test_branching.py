@@ -1,0 +1,138 @@
+"""Tests for BLOB branching (§II-A: fork a dataset, evolve independently)."""
+
+import pytest
+
+from repro.blob import LocalBlobStore, collect_garbage
+from repro.errors import BlobError, VersionNotFound, VersionNotReady
+
+BS = 16
+
+
+@pytest.fixture
+def store():
+    return LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+
+
+def setup_source(store):
+    src = store.create("src")
+    store.write(src, 0, b"a" * (4 * BS))  # v1
+    store.write(src, 0, b"b" * BS)  # v2
+    return src
+
+
+class TestBranchBasics:
+    def test_branch_shares_history(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "fork")
+        assert store.latest_version(fork) == 2
+        assert store.read(fork) == store.read(src)
+        assert store.read(fork, version=1) == b"a" * (4 * BS)
+
+    def test_branch_is_metadata_only(self, store):
+        src = setup_source(store)
+        blocks_before = sum(p.block_count for p in store.providers.values())
+        store.branch(src, "fork")
+        blocks_after = sum(p.block_count for p in store.providers.values())
+        assert blocks_after == blocks_before  # zero copies
+
+    def test_branch_at_older_version(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "old-fork", version=1)
+        assert store.latest_version(fork) == 1
+        assert store.read(fork) == b"a" * (4 * BS)
+
+    def test_autonamed_branch(self, store):
+        src = setup_source(store)
+        fork = store.branch(src)
+        assert fork != src and store.read(fork) == store.read(src)
+
+
+class TestIndependentEvolution:
+    def test_writes_diverge(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "fork")
+        store.write(fork, 0, b"F" * BS)
+        store.write(src, BS, b"S" * BS)
+        assert store.read(fork) == b"F" * BS + b"a" * (3 * BS)
+        assert store.read(src) == b"b" * BS + b"S" * BS + b"a" * (2 * BS)
+
+    def test_appends_diverge(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "fork")
+        store.append(fork, b"x" * BS)
+        assert store.snapshot(fork).size == 5 * BS
+        assert store.snapshot(src).size == 4 * BS
+
+    def test_branch_of_branch(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "fork")
+        store.append(fork, b"x" * BS)
+        grand = store.branch(fork, "grand")
+        store.write(grand, 0, b"G" * BS)
+        assert store.read(grand) == b"G" * BS + b"a" * (3 * BS) + b"x" * BS
+        # Ancestors untouched.
+        assert store.read(src) == b"b" * BS + b"a" * (3 * BS)
+        assert store.read(fork) == b"b" * BS + b"a" * (3 * BS) + b"x" * BS
+
+    def test_shared_block_count_stays_shared(self, store):
+        """A branch write adds exactly its own blocks."""
+        src = setup_source(store)
+        before = sum(p.block_count for p in store.providers.values())
+        fork = store.branch(src, "fork")
+        store.write(fork, 0, b"F" * BS)
+        after = sum(p.block_count for p in store.providers.values())
+        assert after == before + 1
+
+
+class TestBranchValidation:
+    def test_existing_id_rejected(self, store):
+        src = setup_source(store)
+        with pytest.raises(BlobError):
+            store.branch(src, src)
+
+    def test_unpublished_version_rejected(self, store):
+        src = setup_source(store)
+        store.version_manager.assign_append(src, BS)  # v3 in flight
+        with pytest.raises(VersionNotReady):
+            store.branch(src, "fork", version=3)
+
+    def test_missing_version_rejected(self, store):
+        src = setup_source(store)
+        with pytest.raises(VersionNotFound):
+            store.branch(src, "fork", version=9)
+
+    def test_gcd_version_rejected(self, store):
+        src = setup_source(store)
+        collect_garbage(store, src, retain_from=2)
+        with pytest.raises(VersionNotFound):
+            store.branch(src, "fork", version=1)
+
+
+class TestBranchGcInterplay:
+    def test_parent_gc_keeps_branch_readable(self, store):
+        """Collecting the parent must never break a branch that shares
+        its subtrees and blocks."""
+        src = setup_source(store)
+        fork = store.branch(src, "fork", version=1)  # pins v1 data
+        store.write(src, 0, b"c" * (4 * BS))  # src v3 rewrites all
+        collect_garbage(store, src, retain_from=3)
+        # Parent's old snapshots are gone...
+        with pytest.raises(VersionNotFound):
+            store.read(src, version=1)
+        # ...but the branch still reads the shared v1 bytes.
+        assert store.read(fork) == b"a" * (4 * BS)
+
+    def test_branch_gc_keeps_parent_intact(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "fork")
+        store.write(fork, 0, b"F" * BS)  # fork v3
+        collect_garbage(store, fork, retain_from=3)
+        assert store.read(src) == b"b" * BS + b"a" * (3 * BS)
+        assert store.read(src, version=1) == b"a" * (4 * BS)
+
+    def test_parent_gc_with_inflight_branch_write_refused(self, store):
+        src = setup_source(store)
+        fork = store.branch(src, "fork")
+        store.version_manager.assign_append(fork, BS)  # in flight on fork
+        with pytest.raises(BlobError, match="descendant branch"):
+            collect_garbage(store, src, retain_from=2)

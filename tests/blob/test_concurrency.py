@@ -1,0 +1,112 @@
+"""Thread-level semantics tests (correctness, not performance).
+
+Python threads cannot demonstrate BlobSeer's throughput claims (GIL) —
+that is the simulated deployment's job.  What they *can* verify is that
+the protocol state machine holds up under interleaving: versions are
+unique, publication respects assignment order, snapshots are isolated.
+"""
+
+import threading
+
+import pytest
+
+from repro.blob import LocalBlobStore
+
+BS = 32
+
+
+@pytest.fixture
+def store():
+    return LocalBlobStore(data_providers=8, metadata_providers=3, block_size=BS)
+
+
+class TestThreadedWriters:
+    def test_concurrent_appends_all_land_exactly_once(self, store):
+        blob = store.create()
+        n_threads, per_thread = 8, 5
+        errors = []
+
+        def appender(tid):
+            try:
+                for _ in range(per_thread):
+                    store.append(blob, bytes([tid]) * BS)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=appender, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = n_threads * per_thread
+        assert store.latest_version(blob) == total
+        data = store.read(blob)
+        assert len(data) == total * BS
+        # Each thread's payload appears exactly per_thread times, in
+        # whole-block units (no torn blocks).
+        blocks = [data[i * BS : (i + 1) * BS] for i in range(total)]
+        for tid in range(n_threads):
+            assert blocks.count(bytes([tid]) * BS) == per_thread
+
+    def test_concurrent_writers_distinct_regions(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"\0" * (8 * BS))
+        errors = []
+
+        def writer(region):
+            try:
+                store.write(blob, region * BS, bytes([region + 1]) * BS)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(r,)) for r in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        final = store.read(blob)
+        for region in range(8):
+            assert final[region * BS : (region + 1) * BS] == bytes([region + 1]) * BS
+
+    def test_readers_concurrent_with_writers_see_committed_prefixes(self, store):
+        blob = store.create()
+        store.append(blob, b"\1" * BS)
+        stop = threading.Event()
+        bad = []
+
+        def reader():
+            while not stop.is_set():
+                version = store.latest_version(blob)
+                data = store.read(blob, version=version)
+                # Snapshot v of this workload is exactly v blocks long.
+                if len(data) != version * BS:
+                    bad.append((version, len(data)))
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for r in readers:
+            r.start()
+        for v in range(2, 30):
+            store.append(blob, bytes([v % 250 + 1]) * BS)
+        stop.set()
+        for r in readers:
+            r.join()
+        assert not bad
+
+    def test_version_numbers_unique_under_contention(self, store):
+        blob = store.create()
+        versions = []
+        lock = threading.Lock()
+
+        def appender():
+            v = store.append(blob, b"z" * BS)
+            with lock:
+                versions.append(v)
+
+        threads = [threading.Thread(target=appender) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(versions) == list(range(1, 17))

@@ -1,0 +1,126 @@
+"""Tests for version garbage collection (mark and sweep)."""
+
+import pytest
+
+from repro.blob import LocalBlobStore, collect_garbage
+from repro.errors import BlobError, VersionNotFound
+
+BS = 16
+
+
+@pytest.fixture
+def store():
+    return LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+
+
+def total_blocks(store):
+    return sum(p.block_count for p in store.providers.values())
+
+
+class TestCollect:
+    def test_collects_unreachable_blocks(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))  # v1: 4 blocks
+        store.write(blob, 0, b"b" * (4 * BS))  # v2: rewrites all 4
+        assert total_blocks(store) == 8
+        report = collect_garbage(store, blob, retain_from=2)
+        assert report.blocks_deleted == 4
+        assert report.bytes_freed == 4 * BS
+        assert total_blocks(store) == 4
+        assert store.read(blob, version=2) == b"b" * (4 * BS)
+
+    def test_shared_blocks_survive(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))  # v1
+        store.write(blob, 0, b"b" * BS)  # v2 rewrites only block 0
+        report = collect_garbage(store, blob, retain_from=2)
+        # v1's block 0 is dead; blocks 1-3 are shared into v2 and live.
+        assert report.blocks_deleted == 1
+        assert store.read(blob, version=2) == b"b" * BS + b"a" * (3 * BS)
+
+    def test_old_version_unreadable_after_gc(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        store.write(blob, 0, b"b" * BS)
+        collect_garbage(store, blob, retain_from=2)
+        with pytest.raises(VersionNotFound):
+            store.read(blob, version=1)
+
+    def test_retained_range_fully_readable(self, store):
+        blob = store.create()
+        contents = {}
+        for v in range(1, 6):
+            store.append(blob, bytes([v]) * BS)
+            contents[v] = store.read(blob, version=v)
+        collect_garbage(store, blob, retain_from=3)
+        for v in (3, 4, 5):
+            assert store.read(blob, version=v) == contents[v]
+        for v in (1, 2):
+            with pytest.raises(VersionNotFound):
+                store.read(blob, version=v)
+
+    def test_append_only_blob_frees_no_blocks(self, store):
+        """Appends never orphan data blocks — only stale tree roots."""
+        blob = store.create()
+        for v in range(1, 5):
+            store.append(blob, bytes([v]) * BS)
+        report = collect_garbage(store, blob, retain_from=4)
+        assert report.blocks_deleted == 0
+        assert report.nodes_deleted > 0  # old roots/inner nodes die
+
+    def test_metadata_nodes_swept(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (2 * BS))
+        store.write(blob, 0, b"b" * (2 * BS))
+        before = sum(store.metadata.load_by_provider().values())
+        report = collect_garbage(store, blob, retain_from=2)
+        after = sum(store.metadata.load_by_provider().values())
+        assert report.nodes_deleted > 0
+        assert after < before
+
+    def test_multi_blob_isolation(self, store):
+        a, b = store.create(), store.create()
+        store.write(a, 0, b"a" * BS)
+        store.write(a, 0, b"A" * BS)
+        store.write(b, 0, b"b" * BS)
+        collect_garbage(store, a, retain_from=2)
+        assert store.read(b) == b"b" * BS  # untouched
+        assert store.read(a) == b"A" * BS
+
+
+class TestGuards:
+    def test_gc_with_inflight_write_rejected(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        store.version_manager.assign_append(blob, BS)  # in flight
+        with pytest.raises(BlobError, match="in flight"):
+            collect_garbage(store, blob, retain_from=1)
+
+    def test_retain_beyond_watermark_rejected(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        with pytest.raises(BlobError):
+            collect_garbage(store, blob, retain_from=2)
+
+    def test_retain_zero_rejected(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        with pytest.raises(ValueError):
+            collect_garbage(store, blob, retain_from=0)
+
+    def test_gc_idempotent(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        store.write(blob, 0, b"b" * BS)
+        collect_garbage(store, blob, retain_from=2)
+        report = collect_garbage(store, blob, retain_from=2)
+        assert report.blocks_deleted == 0 and report.nodes_deleted == 0
+
+    def test_writes_continue_after_gc(self, store):
+        """Future writes must weave correctly over GC'd history."""
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))
+        store.write(blob, 0, b"b" * BS)
+        collect_garbage(store, blob, retain_from=2)
+        store.write(blob, 2 * BS, b"c" * BS)
+        assert store.read(blob) == b"b" * BS + b"a" * BS + b"c" * BS + b"a" * BS

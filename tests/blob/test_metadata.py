@@ -1,0 +1,71 @@
+"""Tests for the metadata service (tree nodes in the DHT)."""
+
+import pytest
+
+from repro.blob import BlockDescriptor, LeafNode, MetadataService, NodeKey
+from repro.dht import DhtStore
+from repro.errors import VersionNotFound, WriteConflict
+
+
+def leaf(index=0, version=1, provider="p"):
+    return LeafNode(
+        key=NodeKey("b", version, index, 1),
+        block=BlockDescriptor(
+            blob_id="b",
+            version=version,
+            index=index,
+            size=64,
+            providers=(provider,),
+            nonce=version,
+            seq=0,
+        ),
+    )
+
+
+@pytest.fixture
+def service():
+    return MetadataService(DhtStore([f"mdp-{i}" for i in range(4)], replication=2))
+
+
+class TestNodeStorage:
+    def test_roundtrip(self, service):
+        node = leaf()
+        service.put_node(node)
+        assert service.get_node(node.key) == node
+        assert service.has_node(node.key)
+
+    def test_missing_node(self, service):
+        with pytest.raises(VersionNotFound):
+            service.get_node(NodeKey("b", 5, 0, 1))
+        assert not service.has_node(NodeKey("b", 5, 0, 1))
+
+    def test_idempotent_identical_reput(self, service):
+        node = leaf()
+        service.put_node(node)
+        service.put_node(node)  # retry of the same write is fine
+        assert service.get_node(node.key) == node
+
+    def test_conflicting_reput_rejected(self, service):
+        service.put_node(leaf(provider="p1"))
+        with pytest.raises(WriteConflict, match="immutable"):
+            service.put_node(leaf(provider="p2"))
+
+    def test_put_patch_order(self, service):
+        nodes = [leaf(index=i) for i in range(4)]
+        service.put_patch(nodes)
+        for node in nodes:
+            assert service.has_node(node.key)
+
+    def test_delete_idempotent(self, service):
+        node = leaf()
+        service.put_node(node)
+        service.delete_node(node.key)
+        service.delete_node(node.key)
+        assert not service.has_node(node.key)
+
+    def test_load_by_provider_counts_replicas(self, service):
+        for i in range(10):
+            service.put_node(leaf(index=i))
+        load = service.load_by_provider()
+        assert sum(load.values()) == 20  # replication 2
+        assert set(load) == {f"mdp-{i}" for i in range(4)}

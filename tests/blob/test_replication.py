@@ -1,0 +1,92 @@
+"""Tests for replication maintenance (§VI-B fault tolerance)."""
+
+import pytest
+
+from repro.blob import LocalBlobStore, find_under_replicated, repair_blob
+from repro.errors import ReplicationError
+
+BS = 16
+
+
+@pytest.fixture
+def store():
+    return LocalBlobStore(
+        data_providers=6, metadata_providers=2, block_size=BS, replication=2
+    )
+
+
+class TestDetection:
+    def test_healthy_blob_reports_nothing(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))
+        assert find_under_replicated(store, blob) == []
+
+    def test_failed_provider_detected(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))
+        victim = store.block_locations(blob, 0, BS)[0].providers[0]
+        store.fail_provider(victim)
+        lacking = find_under_replicated(store, blob)
+        assert lacking  # at least the blocks homed on the victim
+        assert all(victim in leaf.block.providers for leaf in lacking)
+
+    def test_empty_blob(self, store):
+        blob = store.create()
+        assert find_under_replicated(store, blob) == []
+
+
+class TestRepair:
+    def test_repair_restores_level_and_data(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))
+        victim = store.block_locations(blob, 0, BS)[0].providers[0]
+        store.fail_provider(victim)
+        report = repair_blob(store, blob)
+        assert report.blocks_repaired >= 1
+        assert report.copies_created == report.blocks_repaired
+        assert find_under_replicated(store, blob) == []
+        # Data readable even with the victim still down.
+        assert store.read(blob) == b"a" * (4 * BS)
+
+    def test_repaired_leaf_has_new_replica_set(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        victim = store.block_locations(blob, 0, BS)[0].providers[0]
+        store.fail_provider(victim)
+        repair_blob(store, blob)
+        providers = store.block_locations(blob, 0, BS)[0].providers
+        assert victim not in providers
+        assert len(providers) == 2
+
+    def test_total_loss_is_an_error(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        for provider in store.block_locations(blob, 0, BS)[0].providers:
+            store.fail_provider(provider)
+        with pytest.raises(ReplicationError, match="no live replica"):
+            repair_blob(store, blob)
+
+    def test_not_enough_providers_is_an_error(self):
+        store = LocalBlobStore(data_providers=2, block_size=BS, replication=2)
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        store.fail_provider(store.block_locations(blob, 0, BS)[0].providers[0])
+        with pytest.raises(ReplicationError, match="not enough live providers"):
+            repair_blob(store, blob)
+
+    def test_repair_idempotent(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * (2 * BS))
+        store.fail_provider(store.block_locations(blob, 0, BS)[0].providers[0])
+        repair_blob(store, blob)
+        second = repair_blob(store, blob)
+        assert second.blocks_repaired == 0
+
+    def test_old_versions_repairable_too(self, store):
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)  # v1
+        store.write(blob, 0, b"b" * BS)  # v2
+        victim = store.block_locations(blob, 0, BS, version=1)[0].providers[0]
+        store.fail_provider(victim)
+        repair_blob(store, blob, version=1)
+        assert store.read(blob, version=1) == b"a" * BS

@@ -1,0 +1,263 @@
+"""Tests for the versioned segment tree: keys, weaving, descent."""
+
+import pytest
+
+from repro.blob import (
+    BlockDescriptor,
+    DescentPlan,
+    InnerNode,
+    LeafNode,
+    NodeKey,
+    build_patch,
+    collect_blocks,
+    latest_intersecting,
+    root_span,
+)
+from repro.errors import BlobError, InvalidRange
+
+
+def desc(index, version=1, nonce=1):
+    return BlockDescriptor(
+        blob_id="b",
+        version=version,
+        index=index,
+        size=64,
+        providers=("p",),
+        nonce=nonce,
+        seq=index,
+    )
+
+
+class TestNodeKey:
+    def test_valid(self):
+        k = NodeKey("b", 1, 4, 4)
+        assert k.end == 8 and k.covers(5) and not k.covers(8)
+
+    def test_span_power_of_two(self):
+        with pytest.raises(ValueError):
+            NodeKey("b", 1, 0, 3)
+        with pytest.raises(ValueError):
+            NodeKey("b", 1, 0, 0)
+
+    def test_offset_alignment(self):
+        with pytest.raises(ValueError):
+            NodeKey("b", 1, 2, 4)
+
+    def test_version_at_least_one(self):
+        with pytest.raises(ValueError):
+            NodeKey("b", 0, 0, 1)
+
+
+class TestNodeShapes:
+    def test_leaf_span_must_be_one(self):
+        with pytest.raises(ValueError):
+            LeafNode(key=NodeKey("b", 1, 0, 2), block=desc(0))
+
+    def test_leaf_offset_matches_block_index(self):
+        with pytest.raises(ValueError):
+            LeafNode(key=NodeKey("b", 1, 0, 1), block=desc(3))
+
+    def test_inner_children_keys(self):
+        node = InnerNode(key=NodeKey("b", 3, 0, 4), left_version=2, right_version=3)
+        assert node.left_key == NodeKey("b", 2, 0, 2)
+        assert node.right_key == NodeKey("b", 3, 2, 2)
+        assert len(node.children()) == 2
+
+    def test_inner_absent_right(self):
+        node = InnerNode(key=NodeKey("b", 1, 0, 4), left_version=1, right_version=None)
+        assert node.right_key is None
+        assert [k.offset for k in node.children()] == [0]
+
+    def test_right_without_left_rejected(self):
+        with pytest.raises(ValueError):
+            InnerNode(key=NodeKey("b", 1, 0, 2), left_version=None, right_version=1)
+
+
+class TestRootSpan:
+    @pytest.mark.parametrize(
+        "blocks,span", [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (246, 256)]
+    )
+    def test_values(self, blocks, span):
+        assert root_span(blocks) == span
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            root_span(-1)
+
+
+class TestLatestIntersecting:
+    HISTORY = [(1, 0, 4), (2, 0, 2), (3, 4, 5)]
+
+    def test_picks_highest_intersecting(self):
+        assert latest_intersecting(self.HISTORY, 0, 2, at_most=3) == 2
+        assert latest_intersecting(self.HISTORY, 2, 4, at_most=3) == 1
+        assert latest_intersecting(self.HISTORY, 4, 5, at_most=3) == 3
+
+    def test_at_most_excludes_future(self):
+        assert latest_intersecting(self.HISTORY, 0, 2, at_most=1) == 1
+
+    def test_none_when_uncovered(self):
+        assert latest_intersecting(self.HISTORY, 8, 16, at_most=3) is None
+
+
+class TestBuildPatch:
+    def test_initial_write_four_blocks(self):
+        patch = build_patch("b", 1, 0, 4, 4, history=[], leaf_descriptor=desc)
+        by_key = {n.key: n for n in patch}
+        assert len(patch) == 7  # 4 leaves + 2 inner + root
+        root = by_key[NodeKey("b", 1, 0, 4)]
+        assert isinstance(root, InnerNode)
+        assert root.left_version == 1 and root.right_version == 1
+        for i in range(4):
+            leaf = by_key[NodeKey("b", 1, i, 1)]
+            assert isinstance(leaf, LeafNode) and leaf.block.index == i
+
+    def test_children_emitted_before_parents(self):
+        patch = build_patch("b", 1, 0, 4, 4, history=[], leaf_descriptor=desc)
+        seen = set()
+        for node in patch:
+            if isinstance(node, InnerNode):
+                for child in node.children():
+                    assert child in seen
+            seen.add(node.key)
+        assert patch[-1].key.span == 4  # root last
+
+    def test_partial_overwrite_shares_subtree(self):
+        patch = build_patch(
+            "b", 2, 0, 2, 4,
+            history=[(1, 0, 4)],
+            leaf_descriptor=lambda i: desc(i, version=2, nonce=2),
+        )
+        by_key = {n.key: n for n in patch}
+        root = by_key[NodeKey("b", 2, 0, 4)]
+        assert root.left_version == 2
+        assert root.right_version == 1  # untouched half references v1
+        assert NodeKey("b", 2, 2, 2) not in by_key  # nothing rebuilt there
+        assert len(patch) == 4  # 2 leaves + 1 inner + root
+
+    def test_append_grows_root(self):
+        patch = build_patch(
+            "b", 2, 4, 5, 5,
+            history=[(1, 0, 4)],
+            leaf_descriptor=lambda i: desc(i, version=2, nonce=2),
+        )
+        by_key = {n.key: n for n in patch}
+        root = by_key[NodeKey("b", 2, 0, 8)]
+        assert root.left_version == 1  # old root shared wholesale
+        assert root.right_version == 2
+        right = by_key[NodeKey("b", 2, 4, 4)]
+        assert right.left_version == 2 and right.right_version is None
+        deeper = by_key[NodeKey("b", 2, 4, 2)]
+        assert deeper.left_version == 2 and deeper.right_version is None
+        assert isinstance(by_key[NodeKey("b", 2, 4, 1)], LeafNode)
+
+    def test_empty_write_rejected(self):
+        with pytest.raises(InvalidRange):
+            build_patch("b", 1, 2, 2, 4, history=[], leaf_descriptor=desc)
+
+    def test_write_beyond_size_rejected(self):
+        with pytest.raises(InvalidRange):
+            build_patch("b", 1, 0, 5, 4, history=[], leaf_descriptor=desc)
+
+    def test_concurrent_writer_prediction(self):
+        """v3 references v2's metadata purely from history hints, even
+        though v2's nodes may not be stored yet (§III-D)."""
+        patch = build_patch(
+            "b", 3, 2, 4, 4,
+            history=[(1, 0, 4), (2, 0, 2)],
+            leaf_descriptor=lambda i: desc(i, version=3, nonce=3),
+        )
+        by_key = {n.key: n for n in patch}
+        root = by_key[NodeKey("b", 3, 0, 4)]
+        assert root.left_version == 2  # predicted from hints alone
+        assert root.right_version == 3
+
+
+class FakeMetadata:
+    def __init__(self):
+        self.nodes = {}
+        self.fetches = 0
+
+    def put(self, patch):
+        for node in patch:
+            self.nodes[node.key] = node
+
+    def get(self, key):
+        self.fetches += 1
+        return self.nodes[key]
+
+
+class TestDescent:
+    def _store_versions(self):
+        md = FakeMetadata()
+        md.put(build_patch("b", 1, 0, 4, 4, history=[], leaf_descriptor=desc))
+        md.put(
+            build_patch(
+                "b", 2, 1, 3, 4,
+                history=[(1, 0, 4)],
+                leaf_descriptor=lambda i: desc(i, version=2, nonce=2),
+            )
+        )
+        return md
+
+    def test_collect_full_range_latest(self):
+        md = self._store_versions()
+        blocks = collect_blocks(md.get, NodeKey("b", 2, 0, 4), 0, 4)
+        assert [b.index for b in blocks] == [0, 1, 2, 3]
+        assert [b.version for b in blocks] == [1, 2, 2, 1]
+
+    def test_collect_old_version_untouched(self):
+        md = self._store_versions()
+        blocks = collect_blocks(md.get, NodeKey("b", 1, 0, 4), 0, 4)
+        assert [b.version for b in blocks] == [1, 1, 1, 1]
+
+    def test_collect_subrange_prunes_fetches(self):
+        md = self._store_versions()
+        before = md.fetches
+        blocks = collect_blocks(md.get, NodeKey("b", 2, 0, 4), 3, 4)
+        assert [b.index for b in blocks] == [3]
+        # root + right inner + one leaf = 3 fetches, not the whole tree
+        assert md.fetches - before == 3
+
+    def test_empty_range(self):
+        md = self._store_versions()
+        assert collect_blocks(md.get, NodeKey("b", 2, 0, 4), 2, 2) == []
+
+    def test_plan_rejects_out_of_root(self):
+        with pytest.raises(InvalidRange):
+            DescentPlan(NodeKey("b", 1, 0, 4), 0, 5)
+
+    def test_plan_rejects_bad_range(self):
+        with pytest.raises(InvalidRange):
+            DescentPlan(NodeKey("b", 1, 0, 4), 3, 2)
+
+    def test_plan_feed_unrequested_rejected(self):
+        md = self._store_versions()
+        plan = DescentPlan(NodeKey("b", 1, 0, 4), 0, 4)
+        key = NodeKey("b", 1, 0, 1)
+        with pytest.raises(BlobError):
+            plan.feed(key, md.get(key))
+
+    def test_plan_feed_mismatched_node_rejected(self):
+        md = self._store_versions()
+        plan = DescentPlan(NodeKey("b", 1, 0, 4), 0, 4)
+        (root_key,) = plan.take_frontier()
+        with pytest.raises(BlobError):
+            plan.feed(root_key, md.get(NodeKey("b", 2, 0, 4)))
+
+    def test_plan_blocks_before_done_rejected(self):
+        plan = DescentPlan(NodeKey("b", 1, 0, 4), 0, 4)
+        with pytest.raises(BlobError):
+            plan.blocks()
+
+    def test_frontier_is_levelwise(self):
+        """A full-range descent fetches one tree level per frontier."""
+        md = self._store_versions()
+        plan = DescentPlan(NodeKey("b", 1, 0, 4), 0, 4)
+        level_sizes = []
+        while not plan.done:
+            frontier = plan.take_frontier()
+            level_sizes.append(len(frontier))
+            for key in frontier:
+                plan.feed(key, md.get(key))
+        assert level_sizes == [1, 2, 4]

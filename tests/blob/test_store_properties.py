@@ -1,0 +1,188 @@
+"""Model-based property tests: LocalBlobStore vs. a trivial reference.
+
+The reference model keeps, per version, the complete byte string of the
+snapshot.  The real store must agree with it on every read of every
+version after any legal sequence of writes/appends — this exercises the
+whole pipeline: alignment rules, placement, two-phase writes, metadata
+weaving with subtree sharing, descent, extremal-block trimming.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blob import LocalBlobStore
+from repro.errors import InvalidRange
+
+BS = 16  # small blocks -> deep trees with little data
+
+
+class ModelBlob:
+    """Reference: version -> full contents."""
+
+    def __init__(self):
+        self.versions = [b""]
+
+    @property
+    def size(self):
+        return len(self.versions[-1])
+
+    def write(self, offset, data):
+        current = self.versions[-1]
+        new = current[:offset] + data + current[offset + len(data):]
+        self.versions.append(new)
+
+    def append(self, data):
+        self.versions.append(self.versions[-1] + data)
+
+
+def op_strategy(draw, model):
+    """Draw one legal operation given the model's current size."""
+    size = model.size
+    choices = ["append_blocks"]
+    if size % BS == 0 and size > 0:
+        choices.append("append_partial")
+    if size > 0:
+        choices.extend(["overwrite", "extend"])
+    kind = draw(st.sampled_from(choices))
+    fill = draw(st.integers(min_value=0, max_value=255))
+    if kind == "append_blocks":
+        if size % BS != 0:
+            # trailing partial: extend via write at aligned offset
+            offset = (size // BS) * BS
+            tail_len = size - offset
+            n = draw(st.integers(min_value=1, max_value=3))
+            data = bytes([fill]) * (tail_len + n * BS)
+            return ("write", offset, data)
+        n = draw(st.integers(min_value=1, max_value=3))
+        return ("append", None, bytes([fill]) * (n * BS))
+    if kind == "append_partial":
+        n = draw(st.integers(min_value=1, max_value=BS - 1))
+        return ("append", None, bytes([fill]) * n)
+    if kind == "overwrite":
+        max_block = size // BS  # only whole-block interior overwrites
+        if max_block == 0:
+            offset = 0
+            data = bytes([fill]) * size
+            return ("write", offset, data)
+        start = draw(st.integers(min_value=0, max_value=max_block - 1))
+        count = draw(st.integers(min_value=1, max_value=max_block - start))
+        return ("write", start * BS, bytes([fill]) * (count * BS))
+    # extend: write starting inside, running past the end
+    start_block = draw(st.integers(min_value=0, max_value=size // BS))
+    offset = start_block * BS
+    extra = draw(st.integers(min_value=1, max_value=2 * BS))
+    length = (size - offset) + extra
+    return ("write", offset, bytes([fill]) * length)
+
+
+@st.composite
+def op_sequences(draw):
+    """A legal operation sequence (validity depends on running size)."""
+    model = ModelBlob()
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        op = op_strategy(draw, model)
+        kind, offset, data = op
+        if kind == "append":
+            model.append(data)
+        else:
+            model.write(offset, data)
+        ops.append(op)
+    return ops
+
+
+class TestStoreAgainstModel:
+    @given(ops=op_sequences())
+    @settings(max_examples=60)
+    def test_every_version_matches_model(self, ops):
+        store = LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+        model = ModelBlob()
+        blob = store.create()
+        for kind, offset, data in ops:
+            if kind == "append":
+                store.append(blob, data)
+                model.append(data)
+            else:
+                store.write(blob, offset, data)
+                model.write(offset, data)
+        assert store.latest_version(blob) == len(model.versions) - 1
+        for version, expected in enumerate(model.versions):
+            assert store.snapshot(blob, version).size == len(expected)
+            assert store.read(blob, version=version) == expected
+
+    @given(ops=op_sequences(), data=st.data())
+    @settings(max_examples=60)
+    def test_random_subrange_reads_match_model(self, ops, data):
+        store = LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+        model = ModelBlob()
+        blob = store.create()
+        for kind, offset, payload in ops:
+            if kind == "append":
+                store.append(blob, payload)
+                model.append(payload)
+            else:
+                store.write(blob, offset, payload)
+                model.write(offset, payload)
+        for version, expected in enumerate(model.versions):
+            if not expected:
+                continue
+            offset = data.draw(
+                st.integers(min_value=0, max_value=len(expected) - 1), label="offset"
+            )
+            size = data.draw(
+                st.integers(min_value=0, max_value=len(expected) - offset), label="size"
+            )
+            assert store.read(blob, offset=offset, size=size, version=version) == (
+                expected[offset : offset + size]
+            )
+
+    @given(ops=op_sequences())
+    @settings(max_examples=30)
+    def test_metadata_is_shared_not_copied(self, ops):
+        """Patch cost per write is O(blocks_written + log(total_blocks)),
+        never a full tree copy."""
+        store = LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+        blob = store.create()
+        total_nodes_before = sum(store.metadata.load_by_provider().values())
+        for kind, offset, payload in ops:
+            blocks_written = -(-len(payload) // BS)
+            if kind == "append":
+                store.append(blob, payload)
+            else:
+                store.write(blob, offset, payload)
+            info = store.snapshot(blob)
+            depth = max(1, info.root_span.bit_length())
+            total_nodes_after = sum(store.metadata.load_by_provider().values())
+            new_nodes = total_nodes_after - total_nodes_before
+            total_nodes_before = total_nodes_after
+            assert new_nodes <= blocks_written + 2 * depth + 2
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20)
+    def test_reads_of_any_published_prefix_are_stable(self, n_appends):
+        """Repeatedly appending never perturbs earlier snapshots."""
+        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        blob = store.create()
+        snapshots = {}
+        for i in range(1, n_appends + 1):
+            store.append(blob, bytes([i]) * BS)
+            snapshots[i] = store.read(blob, version=i)
+        for i, expected in snapshots.items():
+            assert store.read(blob, version=i) == expected
+
+
+class TestInvalidOpsDontCorrupt:
+    def test_failed_write_leaves_store_consistent(self):
+        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        blob = store.create()
+        store.write(blob, 0, b"a" * BS)
+        with pytest.raises(InvalidRange):
+            store.write(blob, 7, b"b" * BS)  # unaligned
+        with pytest.raises(InvalidRange):
+            store.write(blob, 2 * BS, b"b" * BS)  # hole
+        assert store.latest_version(blob) == 1
+        assert store.read(blob) == b"a" * BS
+        # And the store still accepts valid writes afterwards.
+        store.append(blob, b"c" * BS)
+        assert store.read(blob) == b"a" * BS + b"c" * BS

@@ -1,0 +1,244 @@
+"""Tests for the version manager state machine."""
+
+import pytest
+
+from repro.blob import VersionManagerCore
+from repro.errors import (
+    BlobError,
+    BlobNotFound,
+    InvalidRange,
+    VersionNotFound,
+    VersionNotReady,
+    WriteConflict,
+)
+
+BS = 64  # tiny block size keeps the arithmetic readable
+
+
+@pytest.fixture
+def vm():
+    core = VersionManagerCore()
+    core.create_blob("b", block_size=BS)
+    return core
+
+
+class TestBlobLifecycle:
+    def test_create_registers_version_zero(self, vm):
+        info = vm.snapshot_info("b", 0)
+        assert info.version == 0 and info.size == 0
+        assert vm.published_version("b") == 0
+
+    def test_duplicate_create_rejected(self, vm):
+        with pytest.raises(BlobError):
+            vm.create_blob("b", block_size=BS)
+
+    def test_unknown_blob(self, vm):
+        with pytest.raises(BlobNotFound):
+            vm.assign_write("ghost", 0, BS)
+
+    def test_create_validation(self):
+        vm = VersionManagerCore()
+        with pytest.raises(ValueError):
+            vm.create_blob("x", block_size=0)
+        with pytest.raises(ValueError):
+            vm.create_blob("x", block_size=BS, replication=0)
+
+    def test_blob_ids(self, vm):
+        vm.create_blob("a", block_size=BS)
+        assert vm.blob_ids() == ["a", "b"]
+        assert vm.has_blob("a") and not vm.has_blob("zz")
+
+
+class TestAssignment:
+    def test_first_write(self, vm):
+        t = vm.assign_write("b", 0, 4 * BS)
+        assert t.version == 1
+        assert (t.start_block, t.end_block) == (0, 4)
+        assert t.size_after == 4 * BS
+        assert t.root_span == 4
+        assert t.history == ()
+
+    def test_history_hints_accumulate(self, vm):
+        vm.assign_write("b", 0, 4 * BS)
+        vm.assign_write("b", 0, 2 * BS)
+        t3 = vm.assign_append("b", BS)
+        assert t3.version == 3
+        assert t3.history == ((1, 0, 4), (2, 0, 2))
+
+    def test_append_offset_fixed_from_uncommitted_predecessor(self, vm):
+        """§III-D: the append offset is the size of the *preceding*
+        snapshot even though that write is still in flight."""
+        t1 = vm.assign_append("b", 4 * BS)  # not committed!
+        t2 = vm.assign_append("b", BS)
+        assert t1.version == 1 and t2.version == 2
+        assert t2.offset == 4 * BS
+        assert t2.size_after == 5 * BS
+
+    def test_overwrite_does_not_grow(self, vm):
+        vm.assign_write("b", 0, 4 * BS)
+        t = vm.assign_write("b", BS, BS)
+        assert t.size_after == 4 * BS
+        assert (t.start_block, t.end_block) == (1, 2)
+
+    def test_trailing_partial_write_allowed(self, vm):
+        t = vm.assign_write("b", 0, 100)  # 1 full + partial into block 1
+        assert t.size_after == 100
+        assert t.end_block == 2
+
+    def test_extend_with_partial_allowed(self, vm):
+        vm.assign_write("b", 0, 2 * BS)
+        t = vm.assign_write("b", 2 * BS, BS + 10)
+        assert t.size_after == 3 * BS + 10
+
+
+class TestAlignmentRules:
+    def test_unaligned_offset_rejected(self, vm):
+        with pytest.raises(InvalidRange):
+            vm.assign_write("b", 10, BS)
+
+    def test_hole_rejected(self, vm):
+        with pytest.raises(InvalidRange):
+            vm.assign_write("b", BS, BS)  # size is 0: offset 64 leaves a hole
+
+    def test_interior_partial_rejected(self, vm):
+        vm.assign_write("b", 0, 4 * BS)
+        with pytest.raises(InvalidRange):
+            vm.assign_write("b", 0, 10)  # would truncate block 0 mid-blob
+
+    def test_zero_length_rejected(self, vm):
+        with pytest.raises(InvalidRange):
+            vm.assign_write("b", 0, 0)
+        with pytest.raises(InvalidRange):
+            vm.assign_append("b", 0)
+
+    def test_negative_offset_rejected(self, vm):
+        with pytest.raises(InvalidRange):
+            vm.assign_write("b", -BS, BS)
+
+    def test_append_to_unaligned_size_rejected(self, vm):
+        vm.assign_write("b", 0, 100)
+        with pytest.raises(InvalidRange):
+            vm.assign_append("b", BS)
+
+    def test_partial_rewrite_to_exact_end_allowed(self, vm):
+        vm.assign_write("b", 0, 100)
+        t = vm.assign_write("b", BS, 36)  # rewrites trailing partial exactly
+        assert t.size_after == 100
+
+
+class TestCommitAndPublication:
+    def test_in_order_commits_publish_incrementally(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        assert vm.commit("b", 1) == 1
+        assert vm.commit("b", 2) == 2
+
+    def test_out_of_order_commit_delays_publication(self, vm):
+        """§III-A.4: revealing order must respect assignment order."""
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        assert vm.commit("b", 3) == 0
+        assert vm.commit("b", 2) == 0
+        assert vm.published_version("b") == 0
+        assert vm.commit("b", 1) == 3  # watermark jumps over the batch
+
+    def test_unpublished_snapshot_not_readable(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.commit("b", 2)
+        with pytest.raises(VersionNotReady):
+            vm.snapshot_info("b", 2)
+        with pytest.raises(VersionNotReady):
+            vm.snapshot_info("b", 1)
+
+    def test_latest_tracks_watermark_not_assignment(self, vm):
+        vm.assign_append("b", BS)
+        vm.commit("b", 1)
+        vm.assign_append("b", BS)  # in flight
+        latest = vm.latest("b")
+        assert latest.version == 1 and latest.size == BS
+
+    def test_double_commit_rejected(self, vm):
+        vm.assign_append("b", BS)
+        vm.commit("b", 1)
+        with pytest.raises(WriteConflict):
+            vm.commit("b", 1)
+
+    def test_commit_unassigned_rejected(self, vm):
+        with pytest.raises(VersionNotFound):
+            vm.commit("b", 5)
+
+    def test_publish_hook_fires_with_watermark(self, vm):
+        events = []
+        vm.on_publish(lambda blob, v: events.append((blob, v)))
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.commit("b", 2)
+        vm.commit("b", 1)
+        assert events == [("b", 2)]  # single jump, one notification
+
+    def test_in_flight_listing(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.commit("b", 2)
+        assert vm.in_flight("b") == [1]
+
+
+class TestAbort:
+    def test_abort_last_uncommitted(self, vm):
+        vm.assign_append("b", BS)
+        vm.abort("b", 1)
+        assert vm.blob("b").last_assigned == 0
+        t = vm.assign_append("b", BS)
+        assert t.version == 1  # number reused; nothing referenced it
+
+    def test_abort_interior_rejected(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        with pytest.raises(WriteConflict):
+            vm.abort("b", 1)
+
+    def test_abort_committed_rejected(self, vm):
+        vm.assign_append("b", BS)
+        vm.commit("b", 1)
+        with pytest.raises(WriteConflict):
+            vm.abort("b", 1)
+
+
+class TestQueries:
+    def test_snapshot_info_geometry(self, vm):
+        vm.assign_append("b", 5 * BS)
+        vm.commit("b", 1)
+        info = vm.snapshot_info("b", 1)
+        assert info.size == 5 * BS
+        assert info.size_blocks == 5
+        assert info.root_span == 8
+
+    def test_missing_version(self, vm):
+        with pytest.raises(VersionNotFound):
+            vm.snapshot_info("b", 7)
+        with pytest.raises(VersionNotFound):
+            vm.snapshot_info("b", -1)
+
+    def test_history_upto(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", 2 * BS)
+        assert vm.history_upto("b", 2) == ((1, 0, 1), (2, 1, 3))
+        assert vm.history_upto("b", 1) == ((1, 0, 1),)
+        with pytest.raises(VersionNotFound):
+            vm.history_upto("b", 9)
+
+    def test_gc_floor(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.commit("b", 1)
+        vm.commit("b", 2)
+        vm.set_gc_floor("b", 2)
+        with pytest.raises(VersionNotFound):
+            vm.snapshot_info("b", 1)
+        assert vm.snapshot_info("b", 2).version == 2
+        with pytest.raises(BlobError):
+            vm.set_gc_floor("b", 1)  # not monotone
+        with pytest.raises(BlobError):
+            vm.set_gc_floor("b", 3)  # beyond watermark

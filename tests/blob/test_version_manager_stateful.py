@@ -1,0 +1,154 @@
+"""Stateful property testing of the version-manager state machine.
+
+Hypothesis drives random interleavings of assign/commit/abort against a
+simple reference model, checking the §III-A invariants after every
+step:
+
+* version numbers are dense and strictly increasing;
+* the publication watermark equals the longest committed prefix
+  (linearizability's reveal-in-order rule);
+* append offsets always equal the preceding snapshot's size, even when
+  that snapshot is still uncommitted;
+* history hints contain exactly the lower versions' write ranges.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.blob import VersionManagerCore
+
+BS = 16
+
+
+class VersionManagerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.vm = VersionManagerCore()
+        self.vm.create_blob("b", block_size=BS)
+        self.model_records = {0: (0, 0, 0)}  # version -> (offset, length, size_after)
+        self.model_committed = {0}
+        self.published_events = []
+        self.vm.on_publish(lambda blob, v: self.published_events.append(v))
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def last_version(self):
+        return max(self.model_records)
+
+    @property
+    def current_size(self):
+        return self.model_records[self.last_version][2]
+
+    def uncommitted(self):
+        return sorted(set(self.model_records) - self.model_committed)
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(blocks=st.integers(min_value=1, max_value=4))
+    def assign_append(self, blocks):
+        if self.current_size % BS != 0:
+            return  # unaligned size: append is refused (tested elsewhere)
+        length = blocks * BS
+        ticket = self.vm.assign_append("b", length)
+        assert ticket.version == self.last_version + 1
+        assert ticket.offset == self.current_size
+        self.model_records[ticket.version] = (
+            ticket.offset,
+            length,
+            self.current_size + length,
+        )
+
+    @rule(
+        start=st.integers(min_value=0, max_value=6),
+        blocks=st.integers(min_value=1, max_value=4),
+    )
+    def assign_overwrite(self, start, blocks):
+        offset = start * BS
+        if offset > self.current_size:
+            return  # would be a hole
+        length = blocks * BS
+        ticket = self.vm.assign_write("b", offset, length)
+        assert ticket.version == self.last_version + 1
+        self.model_records[ticket.version] = (
+            offset,
+            length,
+            max(self.current_size, offset + length),
+        )
+
+    @rule(pick=st.randoms(use_true_random=False))
+    def commit_random_uncommitted(self, pick):
+        pending = self.uncommitted()
+        if not pending:
+            return
+        version = pick.choice(pending)
+        self.vm.commit("b", version)
+        self.model_committed.add(version)
+
+    @precondition(lambda self: self.uncommitted())
+    @rule()
+    def abort_last_if_possible(self):
+        pending = self.uncommitted()
+        last = self.last_version
+        if pending and pending[-1] == last and last == max(self.model_records):
+            self.vm.abort("b", last)
+            del self.model_records[last]
+
+    # -- invariants --------------------------------------------------------------
+
+    @invariant()
+    def versions_dense(self):
+        assert sorted(self.model_records) == list(range(self.last_version + 1))
+        assert self.vm.blob("b").last_assigned == self.last_version
+
+    @invariant()
+    def watermark_is_longest_committed_prefix(self):
+        expected = 0
+        while expected + 1 in self.model_committed:
+            expected += 1
+        assert self.vm.published_version("b") == expected
+
+    @invariant()
+    def published_snapshots_readable_others_not(self):
+        from repro.errors import VersionNotReady
+
+        watermark = self.vm.published_version("b")
+        for version in self.model_records:
+            if version <= watermark:
+                info = self.vm.snapshot_info("b", version)
+                assert info.size == self.model_records[version][2]
+            else:
+                try:
+                    self.vm.snapshot_info("b", version)
+                    assert False, "unpublished snapshot was readable"
+                except VersionNotReady:
+                    pass
+
+    @invariant()
+    def history_hints_match_model(self):
+        last = self.last_version
+        if last == 0:
+            return
+        hints = self.vm.history_upto("b", last)
+        expected = [
+            (v, off // BS, -(-(off + ln) // BS))
+            for v, (off, ln, _sz) in sorted(self.model_records.items())
+            if v >= 1 and v <= last
+        ]
+        assert list(hints) == expected
+
+    @invariant()
+    def publish_events_monotone(self):
+        assert self.published_events == sorted(set(self.published_events))
+
+
+TestVersionManagerStateful = VersionManagerMachine.TestCase
+TestVersionManagerStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,72 @@
+"""Tests for FS-level file branching (zero-copy dataset forks)."""
+
+import pytest
+
+from repro.blob import LocalBlobStore
+from repro.bsfs import BSFSFileSystem
+from repro.errors import FileAlreadyExists, FileNotFound
+
+BS = 64
+
+
+@pytest.fixture
+def fs():
+    return BSFSFileSystem(
+        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+    )
+
+
+class TestBranchFile:
+    def test_fork_shares_content(self, fs):
+        fs.write_file("/data/main", b"m" * (3 * BS))
+        fs.branch_file("/data/main", "/data/fork")
+        assert fs.read_file("/data/fork") == fs.read_file("/data/main")
+
+    def test_fork_evolves_independently(self, fs):
+        fs.write_file("/main", b"m" * BS)
+        fs.branch_file("/main", "/fork")
+        with fs.append("/fork") as out:
+            out.write(b"f" * BS)
+        assert fs.status("/main").size == BS
+        assert fs.status("/fork").size == 2 * BS
+        assert fs.read_file("/main") == b"m" * BS
+
+    def test_fork_at_old_version(self, fs):
+        fs.write_file("/main", b"1" * BS)
+        v1 = fs.file_versions("/main")
+        with fs.append("/main") as out:
+            out.write(b"2" * BS)
+        fs.branch_file("/main", "/fork", version=v1)
+        assert fs.read_file("/fork") == b"1" * BS
+
+    def test_fork_is_zero_copy(self, fs):
+        fs.write_file("/main", b"m" * (8 * BS))
+        stored_before = sum(p.stored_bytes for p in fs.store.providers.values())
+        fs.branch_file("/main", "/fork")
+        stored_after = sum(p.stored_bytes for p in fs.store.providers.values())
+        assert stored_after == stored_before
+
+    def test_fork_onto_existing_path_rejected(self, fs):
+        fs.write_file("/a", b"x")
+        fs.write_file("/b", b"y")
+        with pytest.raises(FileAlreadyExists):
+            fs.branch_file("/a", "/b")
+
+    def test_fork_missing_source_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.branch_file("/ghost", "/fork")
+
+    def test_forked_file_appendable_and_mapreduceable(self, fs):
+        from repro.mapreduce import LocalJobRunner
+        from repro.mapreduce.apps import grep_job
+
+        fs.write_file("/logs", b"needle\nhay\n" * 50)
+        fs.branch_file("/logs", "/experiment")
+        with fs.append("/experiment") as out:
+            out.write(b"needle extra\n" * 10)
+        result = LocalJobRunner(fs).run(grep_job(["/experiment"], "/out", "needle"))
+        count = int(fs.read_file(result.output_paths[0]).split(b"\t")[1])
+        assert count == 60
+        # The original is untouched by the experiment.
+        result2 = LocalJobRunner(fs).run(grep_job(["/logs"], "/out2", "needle"))
+        assert int(fs.read_file(result2.output_paths[0]).split(b"\t")[1]) == 50

@@ -1,0 +1,140 @@
+"""Tests for the §IV-B client caching mechanisms."""
+
+import pytest
+
+from repro.bsfs import BlockReadCache, WriteBuffer
+from repro.errors import InvalidRange
+
+BS = 64
+
+
+class TestBlockReadCache:
+    def make(self, data: bytes, capacity=2):
+        fetched = []
+
+        def fetch(index):
+            fetched.append(index)
+            return data[index * BS : (index + 1) * BS]
+
+        cache = BlockReadCache(fetch, block_size=BS, file_size=len(data), capacity=capacity)
+        return cache, fetched
+
+    def test_small_reads_hit_one_prefetch(self):
+        """4 KB-style reads cause exactly one backend fetch per block."""
+        data = bytes(i % 256 for i in range(2 * BS))
+        cache, fetched = self.make(data)
+        out = b"".join(cache.pread(i * 4, 4) for i in range(BS // 4))
+        assert out == data[:BS]
+        assert fetched == [0]
+
+    def test_cross_block_read(self):
+        data = bytes(i % 256 for i in range(3 * BS))
+        cache, fetched = self.make(data)
+        assert cache.pread(BS - 5, 10) == data[BS - 5 : BS + 5]
+        assert fetched == [0, 1]
+
+    def test_lru_eviction(self):
+        data = bytes(3 * BS)
+        cache, fetched = self.make(data, capacity=1)
+        cache.pread(0, 1)
+        cache.pread(BS, 1)
+        cache.pread(0, 1)  # block 0 was evicted -> refetch
+        assert fetched == [0, 1, 0]
+
+    def test_trailing_short_block(self):
+        data = bytes(BS + 10)
+        cache, _ = self.make(data)
+        assert cache.pread(BS, 10) == data[BS:]
+
+    def test_bounds_checked(self):
+        data = bytes(BS)
+        cache, _ = self.make(data)
+        with pytest.raises(InvalidRange):
+            cache.pread(0, BS + 1)
+        with pytest.raises(InvalidRange):
+            cache.pread(-1, 1)
+
+    def test_zero_read(self):
+        cache, fetched = self.make(bytes(BS))
+        assert cache.pread(10, 0) == b""
+        assert fetched == []
+
+    def test_backend_size_mismatch_detected(self):
+        cache = BlockReadCache(lambda i: b"short", block_size=BS, file_size=BS)
+        with pytest.raises(InvalidRange, match="expected"):
+            cache.pread(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockReadCache(lambda i: b"", block_size=0, file_size=0)
+        with pytest.raises(ValueError):
+            BlockReadCache(lambda i: b"", block_size=1, file_size=-1)
+        with pytest.raises(ValueError):
+            BlockReadCache(lambda i: b"", block_size=1, file_size=0, capacity=0)
+
+
+class TestWriteBuffer:
+    def make(self, committed=0, tail=b""):
+        commits = []
+        buffer = WriteBuffer(
+            commit=lambda off, data: commits.append((off, data)),
+            block_size=BS,
+            committed=committed,
+            initial_tail=tail,
+        )
+        return buffer, commits
+
+    def test_small_writes_batch_into_blocks(self):
+        """The §IV-B behaviour: 4 KB writes commit only at block fill."""
+        buffer, commits = self.make()
+        for _ in range(BS // 4 - 1):
+            buffer.write(b"x" * 4)
+        assert commits == []  # not a full block yet
+        buffer.write(b"x" * 4)
+        assert commits == [(0, b"x" * BS)]
+
+    def test_multi_block_write_commits_together(self):
+        buffer, commits = self.make()
+        buffer.write(b"y" * (3 * BS + 7))
+        assert commits == [(0, b"y" * (3 * BS))]
+        assert buffer.size == 3 * BS + 7
+
+    def test_close_flushes_partial(self):
+        buffer, commits = self.make()
+        buffer.write(b"z" * 10)
+        assert buffer.close() == 10
+        assert commits == [(0, b"z" * 10)]
+
+    def test_close_empty_commits_nothing(self):
+        buffer, commits = self.make()
+        assert buffer.close() == 0
+        assert commits == []
+
+    def test_close_idempotent(self):
+        buffer, commits = self.make()
+        buffer.write(b"a" * 5)
+        buffer.close()
+        buffer.close()
+        assert len(commits) == 1
+
+    def test_write_after_close_rejected(self):
+        buffer, _ = self.make()
+        buffer.close()
+        with pytest.raises(ValueError):
+            buffer.write(b"x")
+
+    def test_resume_with_tail_rewrites_merged_block(self):
+        """The append-to-unaligned-file path: tail + new data at the
+        aligned offset."""
+        buffer, commits = self.make(committed=2 * BS, tail=b"t" * 10)
+        buffer.write(b"n" * (BS - 10))
+        assert commits == [(2 * BS, b"t" * 10 + b"n" * (BS - 10))]
+        assert buffer.size == 3 * BS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(lambda o, d: None, block_size=0)
+        with pytest.raises(ValueError):
+            WriteBuffer(lambda o, d: None, block_size=BS, committed=10)
+        with pytest.raises(ValueError):
+            WriteBuffer(lambda o, d: None, block_size=BS, initial_tail=b"x" * BS)

@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+Registers a hypothesis profile suited to CI: no wall-clock deadline
+(simulation-heavy properties vary in runtime) and derandomized so runs
+are reproducible.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,86 @@
+"""Failure injection in the simulated MapReduce stack.
+
+The paper's jobtracker is "responsible for ... re-executing the failed
+tasks" (§II-B); with replication, storage failures are absorbed below
+the job level entirely.  These tests kill datanodes mid-job and check
+both behaviours.
+"""
+
+import pytest
+
+from repro.deploy import Calibration, JobProfile, deploy_mapreduce
+from repro.errors import JobFailed
+from repro.util.bytesize import MB
+
+BS = 64 * MB
+
+
+def profile(max_attempts=3):
+    return JobProfile(
+        jvm_start=0.2, heartbeat=0.5, job_init=0.5, reduce_time=0.0,
+        max_task_attempts=max_attempts,
+    )
+
+
+def run_with_victim(
+    replication: int, recover_after: float | None, seed=2, max_attempts=3
+):
+    """Scan job over HDFS; one datanode dies 0.2 s into the map phase."""
+    dep = deploy_mapreduce(
+        "hdfs", workers=8, profile=profile(max_attempts), seed=seed,
+        replication=replication,
+    )
+    engine = dep.cluster.engine
+    cal = dep.calibration
+
+    def scenario():
+        yield from dep.storage.write_file(
+            dep.dedicated_client, "/input", 12 * BS,
+            produce_rate=cal.client_stream_cap,
+        )
+        victim = dep.storage.chunk_hosts("/input")[0][0]
+
+        def killer():
+            yield engine.timeout(0.5 + 0.2)  # job_init + 0.2s
+            dep.cluster.node(victim).fail()
+            dep.storage.dn_cores[victim].fail()
+            if recover_after is not None:
+                yield engine.timeout(recover_after)
+                dep.cluster.node(victim).recover()
+                dep.storage.dn_cores[victim].recover()
+
+        engine.process(killer())
+        elapsed = yield from dep.hadoop.run_scan_job("/input", scan_rate=50 * MB)
+        return elapsed
+
+    elapsed = engine.run(engine.process(scenario()))
+    return dep, elapsed
+
+
+class TestStorageFailureDuringJob:
+    def test_replicated_job_survives_without_retries(self):
+        """Replication 2: the read path fails over; the job never even
+        notices the dead datanode."""
+        dep, elapsed = run_with_victim(replication=2, recover_after=None)
+        assert elapsed > 0
+        assert dep.hadoop.last_failures == 0
+
+    def test_unreplicated_transient_failure_retried(self):
+        """Replication 1 + the node comes back: failed tasks re-queue
+        and succeed on a later attempt."""
+        dep, elapsed = run_with_victim(
+            replication=1, recover_after=1.0, max_attempts=8
+        )
+        assert elapsed > 0
+        assert dep.hadoop.last_failures > 0
+
+    def test_unreplicated_permanent_failure_fails_job(self):
+        """Replication 1 + the node stays dead: the task exhausts its
+        attempts and the job aborts."""
+        with pytest.raises(JobFailed, match="failed 3 times"):
+            run_with_victim(replication=1, recover_after=None)
+
+    def test_failures_counted_per_attempt(self):
+        dep, _ = run_with_victim(replication=1, recover_after=1.0, max_attempts=8)
+        # At least one task failed at least once; none more than the cap.
+        assert 1 <= dep.hadoop.last_failures <= 8 * 12

@@ -1,0 +1,131 @@
+"""Tests for the simulated HDFS deployment."""
+
+import pytest
+
+from repro.blob.block import BytesPayload
+from repro.deploy import Calibration, SimHDFS
+from repro.simulation import NodeSpec, SimCluster
+from repro.util.bytesize import MB
+
+BS = 1024
+
+
+def make_deployment(n_datanodes=6, target_reuse=None, block_size=BS, **hdfs_kwargs):
+    if target_reuse is not None:
+        cal = Calibration(block_size=block_size, hdfs_target_reuse=target_reuse)
+    else:
+        cal = Calibration(block_size=block_size)
+    cluster = SimCluster(latency=cal.latency)
+    spec = NodeSpec(nic_rate=cal.nic_rate, disk=cal.disk)
+    nn = cluster.add_node("namenode", spec)
+    datanodes = cluster.add_nodes("dn", n_datanodes, spec)
+    client = cluster.add_node("client", spec)
+    hdfs = SimHDFS(
+        cluster,
+        datanode_nodes=datanodes,
+        namenode_node=nn,
+        calibration=cal,
+        **hdfs_kwargs,
+    )
+    return cluster, hdfs, client
+
+
+class TestSimHdfsProtocol:
+    def test_write_read_roundtrip(self):
+        cluster, hdfs, client = make_deployment()
+        data = bytes(i % 256 for i in range(3 * BS))
+
+        def scenario():
+            yield from hdfs.write_file(client, "/f", BytesPayload(data))
+            result = yield from hdfs.read(client, "/f")
+            return result.size
+
+        assert cluster.engine.run(cluster.engine.process(scenario())) == len(data)
+
+    def test_chunks_sequential_not_parallel(self):
+        """HDFS streams one chunk pipeline at a time: 4 chunks take
+        about 4x one chunk's stream plus stalls."""
+        cluster, hdfs, client = make_deployment()
+
+        def scenario():
+            t0 = cluster.engine.now
+            yield from hdfs.write_file(client, "/f", 4 * BS)
+            return cluster.engine.now - t0
+
+        elapsed = cluster.engine.run(cluster.engine.process(scenario()))
+        per_chunk = BS / hdfs.datanode_ingest + hdfs.chunk_stall
+        assert elapsed == pytest.approx(4 * per_chunk, rel=0.2)
+
+    def test_ingest_cap_slows_chunk_stream(self):
+        cluster, hdfs, client = make_deployment(block_size=64 * MB)
+
+        def scenario():
+            yield from hdfs.write_file(client, "/f", 64 * MB)
+            return cluster.engine.now
+
+        t = cluster.engine.run(cluster.engine.process(scenario()))
+        # Must be slower than wire speed: the ingest ceiling dominates.
+        assert t > 64 * MB / hdfs.datanode_ingest
+
+    def test_local_first_placement(self):
+        cluster, hdfs, _ = make_deployment()
+        writer = cluster.node("dn-002")  # colocated with a datanode
+
+        def scenario():
+            yield from hdfs.write_file(writer, "/local", 4 * BS)
+
+        cluster.engine.run(cluster.engine.process(scenario()))
+        counts = hdfs.datanode_chunk_counts()
+        assert counts["dn-002"] == 4
+
+    def test_target_reuse_clusters_chunks(self):
+        cluster, hdfs, client = make_deployment(n_datanodes=20, target_reuse=4)
+
+        def scenario():
+            yield from hdfs.write_file(client, "/f", 8 * BS)
+
+        cluster.engine.run(cluster.engine.process(scenario()))
+        hosts = [h[0] for h in hdfs.chunk_hosts("/f")]
+        # Runs of 4: 8 chunks land on exactly 2 (or occasionally 1) nodes.
+        assert len(set(hosts)) <= 3
+        assert hosts[0] == hosts[1] == hosts[2] == hosts[3]
+
+    def test_replication_pipeline(self):
+        cluster, hdfs, client = make_deployment(n_datanodes=4, replication=2)
+
+        def scenario():
+            yield from hdfs.write_file(client, "/f", 2 * BS)
+
+        cluster.engine.run(cluster.engine.process(scenario()))
+        assert sum(hdfs.datanode_chunk_counts().values()) == 4
+        for hosts in hdfs.chunk_hosts("/f"):
+            assert len(set(hosts)) == 2
+
+    def test_read_failover(self):
+        cluster, hdfs, client = make_deployment(n_datanodes=4, replication=2)
+
+        def scenario():
+            yield from hdfs.write_file(client, "/f", BytesPayload(b"x" * BS))
+            primary = hdfs.chunk_hosts("/f")[0][0]
+            cluster.node(primary).online = False
+            result = yield from hdfs.read(client, "/f")
+            return result.size
+
+        assert cluster.engine.run(cluster.engine.process(scenario())) == BS
+
+    def test_single_writer_semantics_in_sim(self):
+        from repro.errors import LeaseConflict
+
+        cluster, hdfs, client = make_deployment()
+        other = cluster.node("dn-000")
+
+        def scenario():
+            yield from hdfs.write_file(client, "/f", BS)
+            # Second create on the same path must be refused.
+            from repro.errors import FileAlreadyExists
+
+            with pytest.raises(FileAlreadyExists):
+                yield from hdfs.write_file(other, "/f", BS)
+            return True
+
+        assert cluster.engine.run(cluster.engine.process(scenario()))

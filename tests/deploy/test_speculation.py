@@ -1,0 +1,88 @@
+"""Tests for speculative execution in the simulated Hadoop engine."""
+
+import pytest
+
+from repro.deploy import Calibration, JobProfile, deploy_mapreduce
+from repro.util.bytesize import MB
+
+BS = 64 * MB
+
+
+def profile(speculative):
+    return JobProfile(
+        jvm_start=0.2,
+        heartbeat=0.5,
+        job_init=0.5,
+        reduce_time=0.0,
+        speculative=speculative,
+        speculative_slowdown=1.3,
+    )
+
+
+def straggler_setup(speculative: bool, seed=4):
+    """Heterogeneous cluster (the setting of the paper's ref [17]):
+
+    one tasktracker's NIC is degraded to 8 MB/s, so every remote-input
+    map it takes becomes a straggler; speculation duplicates those maps
+    onto healthy nodes, and the duplicate finishes first.
+    """
+    dep = deploy_mapreduce(
+        "hdfs", workers=16, profile=profile(speculative), seed=seed
+    )
+    # Degrade one worker after deployment (heterogeneity injection).
+    dep.cluster.network.set_node_rates("worker-000", ingress=8 * MB)
+    engine = dep.cluster.engine
+    cal = dep.calibration
+
+    def scenario():
+        yield from dep.storage.write_file(
+            dep.dedicated_client, "/input", 24 * BS,
+            produce_rate=cal.client_stream_cap,
+        )
+        elapsed = yield from dep.hadoop.run_scan_job("/input", scan_rate=50 * MB)
+        return elapsed
+
+    elapsed = engine.run(engine.process(scenario()))
+    return dep, elapsed
+
+
+class TestSpeculation:
+    def test_disabled_by_default(self):
+        dep, _ = straggler_setup(speculative=False)
+        assert dep.hadoop.last_speculative == 0
+
+    def test_speculative_attempts_launched_on_stragglers(self):
+        dep, _ = straggler_setup(speculative=True)
+        assert dep.hadoop.last_speculative > 0
+
+    def test_speculation_never_slower(self):
+        _, plain = straggler_setup(speculative=False)
+        _, spec = straggler_setup(speculative=True)
+        assert spec <= plain * 1.02
+
+    def test_speculation_helps_under_heavy_skew(self):
+        """Duplicating straggler reads onto idle nodes shortens the
+        makespan when hot datanodes throttle the originals."""
+        _, plain = straggler_setup(speculative=False)
+        _, spec = straggler_setup(speculative=True)
+        assert spec < plain
+
+    def test_all_tasks_complete_exactly_once(self):
+        dep, _ = straggler_setup(speculative=True)
+        assert dep.hadoop.last_local + dep.hadoop.last_remote == 24
+
+    def test_no_speculation_without_stragglers(self):
+        """A balanced BSFS job finishes in one homogeneous wave — no
+        attempt ever looks slow enough to duplicate."""
+        dep = deploy_mapreduce("bsfs", workers=16, profile=profile(True))
+        engine = dep.cluster.engine
+
+        def scenario():
+            yield from dep.storage.create(dep.dedicated_client, "input")
+            yield from dep.storage.write(
+                dep.dedicated_client, "input", 16 * BS, offset=0
+            )
+            yield from dep.hadoop.run_scan_job("input", scan_rate=50 * MB)
+
+        engine.run(engine.process(scenario()))
+        assert dep.hadoop.last_speculative == 0

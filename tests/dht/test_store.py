@@ -1,0 +1,85 @@
+"""Tests for the replicated DHT store."""
+
+import pytest
+
+from repro.dht import DhtStore
+from repro.errors import ProviderUnavailable, ReplicationError
+
+
+@pytest.fixture
+def store():
+    return DhtStore([f"mdp-{i}" for i in range(5)], replication=2)
+
+
+class TestBasicOps:
+    def test_put_get_roundtrip(self, store):
+        store.put(("k", 1), "value")
+        assert store.get(("k", 1)) == "value"
+        assert ("k", 1) in store
+
+    def test_missing_key(self, store):
+        with pytest.raises(KeyError):
+            store.get("ghost")
+        assert "ghost" not in store
+
+    def test_delete_idempotent(self, store):
+        store.put("k", 1)
+        store.delete("k")
+        store.delete("k")
+        assert "k" not in store
+
+    def test_replication_places_n_copies(self, store):
+        for i in range(200):
+            store.put(("key", i), i)
+        total = sum(store.load_by_bucket().values())
+        assert total == 400  # 200 keys x 2 replicas
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DhtStore([])
+        with pytest.raises(ValueError):
+            DhtStore(["a"], replication=0)
+
+
+class TestFailureTolerance:
+    def test_read_fails_over_to_replica(self, store):
+        store.put("k", "v")
+        primary = store.owners("k")[0]
+        store.fail_bucket(primary)
+        assert store.get("k") == "v"
+
+    def test_write_succeeds_with_one_live_replica(self, store):
+        primary, secondary = store.owners("k")
+        store.fail_bucket(primary)
+        store.put("k", "v")
+        store.recover_bucket(primary)
+        # Value must be readable even though only the secondary has it.
+        assert store.get("k") == "v"
+        assert "k" in store.buckets[secondary]
+
+    def test_write_fails_with_all_replicas_down(self, store):
+        for owner in store.owners("k"):
+            store.fail_bucket(owner)
+        with pytest.raises(ReplicationError):
+            store.put("k", "v")
+
+    def test_read_with_all_replicas_down(self, store):
+        store.put("k", "v")
+        for owner in store.owners("k"):
+            store.fail_bucket(owner)
+        with pytest.raises(ProviderUnavailable):
+            store.get("k")
+
+    def test_recovery_restores_content(self, store):
+        store.put("k", "v")
+        primary = store.owners("k")[0]
+        store.fail_bucket(primary)
+        store.recover_bucket(primary)
+        assert store.buckets[primary].get("k") == "v"
+
+    def test_replication_one_has_no_failover(self):
+        store = DhtStore(["a", "b", "c"], replication=1)
+        store.put("k", "v")
+        store.fail_bucket(store.owners("k")[0])
+        with pytest.raises(ProviderUnavailable):
+            store.get("k")

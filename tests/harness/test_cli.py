@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure", "3a"])
+        assert args.which == "3a" and not args.full
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["figure", "4", "--full", "--seed", "7"])
+        assert args.full and args.seed == 7
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9z"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_calibration_dump(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "nic_rate" in out and "client_stream_cap" in out
+
+    def test_figure_3a_quick(self, capsys):
+        assert main(["figure", "3a", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "=== Figure 3a" in out
+        assert "BSFS" in out and "HDFS" in out
+        assert "quick scale" in out
+
+    def test_figure_5_with_chart(self, capsys):
+        assert main(["figure", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "o=BSFS" in out

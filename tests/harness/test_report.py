@@ -1,0 +1,70 @@
+"""Tests for figure rendering."""
+
+from repro.harness import FigureResult, render_chart, render_figure, render_table
+
+
+def sample_result():
+    result = FigureResult(
+        figure="4",
+        title="Concurrent readers",
+        x_label="Clients",
+        y_label="MB/s",
+        notes="flat vs degrading",
+    )
+    for x, y in [(1, 70.0), (10, 69.5), (25, 69.0)]:
+        result.add("BSFS", x, y)
+    for x, y in [(1, 69.0), (10, 42.0), (25, 40.0)]:
+        result.add("HDFS", x, y)
+    return result
+
+
+class TestTable:
+    def test_columns_and_rows(self):
+        table = render_table(sample_result())
+        lines = table.splitlines()
+        assert "BSFS" in lines[0] and "HDFS" in lines[0]
+        assert len(lines) == 2 + 3  # header + rule + 3 x-values
+
+    def test_values_formatted(self):
+        table = render_table(sample_result())
+        assert "69.50" in table and "42.00" in table
+
+    def test_missing_points_dashed(self):
+        result = sample_result()
+        result.add("BSFS", 50, 68.0)  # no HDFS point at x=50
+        table = render_table(result)
+        row = [l for l in table.splitlines() if l.lstrip().startswith("50")][0]
+        assert "-" in row.split()[-1]
+
+    def test_ys_sorted_by_x(self):
+        result = FigureResult(figure="x", title="t", x_label="x", y_label="y")
+        result.add("S", 3, 30.0)
+        result.add("S", 1, 10.0)
+        assert result.ys("S") == [10.0, 30.0]
+
+
+class TestChart:
+    def test_contains_glyphs_and_legend(self):
+        chart = render_chart(sample_result())
+        assert "o=BSFS" in chart and "x=HDFS" in chart
+        assert "|" in chart
+
+    def test_empty(self):
+        empty = FigureResult(figure="z", title="t", x_label="x", y_label="y")
+        assert render_chart(empty) == "(no data)"
+
+    def test_single_point(self):
+        result = FigureResult(figure="z", title="t", x_label="x", y_label="y")
+        result.add("S", 1, 1.0)
+        assert "o" in render_chart(result)
+
+
+class TestFullFigure:
+    def test_render_figure_structure(self):
+        text = render_figure(sample_result())
+        assert text.startswith("=== Figure 4")
+        assert "paper: flat vs degrading" in text
+
+    def test_render_without_chart(self):
+        text = render_figure(sample_result(), chart=False)
+        assert "o=BSFS" not in text

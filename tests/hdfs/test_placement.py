@@ -1,0 +1,73 @@
+"""Unit tests for the HDFS placement policy (incl. calibrated reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplicationError
+from repro.hdfs import HdfsPlacementPolicy
+
+NODES = [f"dn{i}" for i in range(20)]
+
+
+def policy(reuse=1, seed=0):
+    return HdfsPlacementPolicy(rng=np.random.default_rng(seed), target_reuse=reuse)
+
+
+class TestLocalFirst:
+    def test_client_on_datanode_wins(self):
+        p = policy()
+        for _ in range(5):
+            assert p.choose_pipeline(NODES, 1, client="dn7")[0] == "dn7"
+
+    def test_remote_client_random(self):
+        p = policy(seed=3)
+        picks = {p.choose_pipeline(NODES, 1, client="edge")[0] for _ in range(40)}
+        assert len(picks) > 5
+
+    def test_local_first_beats_reuse(self):
+        """A colocated client always writes locally, reuse or not."""
+        p = policy(reuse=5)
+        p.choose_pipeline(NODES, 1, client=None)  # start a reuse run
+        assert p.choose_pipeline(NODES, 1, client="dn3")[0] == "dn3"
+
+
+class TestTargetReuse:
+    def test_runs_of_exact_length(self):
+        p = policy(reuse=4, seed=1)
+        primaries = [p.choose_pipeline(NODES, 1, client=None)[0] for _ in range(12)]
+        assert primaries[0:4].count(primaries[0]) == 4
+        assert primaries[4:8].count(primaries[4]) == 4
+        assert primaries[8:12].count(primaries[8]) == 4
+
+    def test_reuse_one_is_independent(self):
+        p = policy(reuse=1, seed=2)
+        primaries = [p.choose_pipeline(NODES, 1, client=None)[0] for _ in range(60)]
+        runs = sum(1 for a, b in zip(primaries, primaries[1:]) if a == b)
+        # Independent uniform over 20 nodes: same-as-previous ~5%.
+        assert runs < 12
+
+    def test_dead_target_ends_run(self):
+        p = policy(reuse=10, seed=4)
+        first = p.choose_pipeline(NODES, 1, client=None)[0]
+        live = [n for n in NODES if n != first]
+        replacement = p.choose_pipeline(live, 1, client=None)[0]
+        assert replacement != first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HdfsPlacementPolicy(target_reuse=0)
+
+
+class TestPipelines:
+    def test_replicas_distinct(self):
+        p = policy(seed=5)
+        for _ in range(20):
+            pipeline = p.choose_pipeline(NODES, 3, client=None)
+            assert len(set(pipeline)) == 3
+
+    def test_replication_bounds(self):
+        p = policy()
+        with pytest.raises(ReplicationError):
+            p.choose_pipeline(NODES[:2], 3, client=None)
+        with pytest.raises(ValueError):
+            p.choose_pipeline(NODES, 0, client=None)

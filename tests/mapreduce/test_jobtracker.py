@@ -1,0 +1,73 @@
+"""Tests for locality-aware wave scheduling."""
+
+import pytest
+
+from repro.mapreduce import schedule_map_tasks
+from repro.mapreduce.io import FileSplit, SyntheticSplit
+
+
+def split(i, hosts):
+    return FileSplit(path="/f", offset=i * 64, length=64, hosts=tuple(hosts))
+
+
+class TestLocality:
+    def test_perfectly_local_when_possible(self):
+        splits = [split(i, [f"t{i}"]) for i in range(4)]
+        assignments, stats = schedule_map_tasks(splits, [f"t{i}" for i in range(4)])
+        assert stats.local == 4 and stats.remote == 0
+        assert stats.locality == 1.0
+        for a in assignments:
+            assert a.tracker in a.split.hosts
+
+    def test_remote_when_data_elsewhere(self):
+        splits = [split(i, ["storage-node"]) for i in range(4)]
+        _, stats = schedule_map_tasks(splits, ["t0", "t1"])
+        assert stats.local == 0 and stats.remote == 4
+
+    def test_hotspot_forces_remote_maps(self):
+        """All blocks on one node: only that node's slots are local —
+        the §V-E explanation of remote maps."""
+        splits = [split(i, ["hot"]) for i in range(8)]
+        _, stats = schedule_map_tasks(splits, ["hot", "cold"], slots_per_tracker=2)
+        # 'hot' takes a task per slot per wave; 'cold' must take remote ones.
+        assert 0 < stats.local < 8
+        assert stats.remote == 8 - stats.local
+
+    def test_replicated_hosts_count_as_local(self):
+        splits = [split(0, ["a", "b"])]
+        _, stats = schedule_map_tasks(splits, ["b"])
+        assert stats.local == 1
+
+    def test_synthetic_splits_never_local(self):
+        splits = [SyntheticSplit(index=i) for i in range(3)]
+        _, stats = schedule_map_tasks(splits, ["t0"])
+        assert stats.local == 0 and stats.total == 3
+
+
+class TestWaves:
+    def test_wave_count(self):
+        splits = [split(i, []) for i in range(10)]
+        _, stats = schedule_map_tasks(splits, ["t0", "t1"], slots_per_tracker=2)
+        # 4 task launches per wave -> ceil(10/4) = 3 waves
+        assert stats.waves == 3
+
+    def test_single_wave_when_capacity_suffices(self):
+        splits = [split(i, []) for i in range(4)]
+        _, stats = schedule_map_tasks(splits, ["t0", "t1"], slots_per_tracker=2)
+        assert stats.waves == 1
+
+    def test_every_split_assigned_exactly_once(self):
+        splits = [split(i, [f"t{i % 3}"]) for i in range(17)]
+        assignments, stats = schedule_map_tasks(splits, ["t0", "t1", "t2"])
+        assert stats.total == 17
+        assert sorted(a.task_index for a in assignments) == list(range(17))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_map_tasks([split(0, [])], [])
+        with pytest.raises(ValueError):
+            schedule_map_tasks([split(0, [])], ["t"], slots_per_tracker=0)
+
+    def test_empty_splits(self):
+        assignments, stats = schedule_map_tasks([], ["t0"])
+        assert assignments == [] and stats.total == 0 and stats.locality == 1.0

@@ -1,0 +1,114 @@
+"""Tests for the total-order sort application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blob import LocalBlobStore
+from repro.bsfs import BSFSFileSystem
+from repro.mapreduce import LocalJobRunner
+from repro.mapreduce.apps import range_partitioner, sample_cut_points, sort_job
+
+BS = 256
+
+
+def make_fs():
+    return BSFSFileSystem(
+        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+    )
+
+
+def run_sort(fs, lines, num_reducers=3):
+    fs.write_file("/in/data", "".join(l + "\n" for l in lines).encode())
+    result = LocalJobRunner(fs).run(
+        sort_job(fs, ["/in/data"], "/sorted", num_reducers=num_reducers)
+    )
+    output = []
+    for path in sorted(result.output_paths):  # partition order
+        output.extend(fs.read_file(path).decode().splitlines())
+    return output
+
+
+class TestRangePartitioner:
+    def test_three_way_split(self):
+        part = range_partitioner(["g", "p"])
+        assert part("a", 3) == 0
+        assert part("g", 3) == 1  # cut point goes right
+        assert part("m", 3) == 1
+        assert part("z", 3) == 2
+
+    def test_single_reducer_no_cuts(self):
+        part = range_partitioner([])
+        assert part("anything", 1) == 0
+
+    def test_clamped_to_reducers(self):
+        part = range_partitioner(["a", "b", "c", "d"])
+        assert part("zzz", 2) == 1
+
+
+class TestSampling:
+    def test_cut_point_count(self):
+        fs = make_fs()
+        fs.write_file("/in/f", b"".join(f"k{i:03d}\n".encode() for i in range(100)))
+        cuts = sample_cut_points(fs, ["/in/f"], num_reducers=4)
+        assert len(cuts) == 3
+        assert cuts == sorted(cuts)
+
+    def test_single_reducer_empty(self):
+        fs = make_fs()
+        fs.write_file("/in/f", b"a\n")
+        assert sample_cut_points(fs, ["/in/f"], num_reducers=1) == []
+
+    def test_validation(self):
+        fs = make_fs()
+        with pytest.raises(ValueError):
+            sample_cut_points(fs, [], num_reducers=0)
+        with pytest.raises(ValueError):
+            sample_cut_points(fs, [], num_reducers=2, sample_records=0)
+
+
+class TestSortJob:
+    def test_total_order(self):
+        fs = make_fs()
+        lines = [f"key-{(i * 7919) % 500:04d}" for i in range(500)]
+        output = run_sort(fs, lines)
+        assert output == sorted(lines)
+
+    def test_duplicates_preserved(self):
+        fs = make_fs()
+        lines = ["b", "a", "b", "a", "c", "b"]
+        output = run_sort(fs, lines, num_reducers=2)
+        assert output == sorted(lines)
+
+    def test_single_reducer(self):
+        fs = make_fs()
+        lines = [f"{i:03d}" for i in range(50, 0, -1)]
+        assert run_sort(fs, lines, num_reducers=1) == sorted(lines)
+
+    def test_partitions_are_ranges(self):
+        fs = make_fs()
+        lines = [f"{chr(97 + i % 26)}{i:03d}" for i in range(200)]
+        fs.write_file("/in/data", "".join(l + "\n" for l in lines).encode())
+        result = LocalJobRunner(fs).run(
+            sort_job(fs, ["/in/data"], "/sorted", num_reducers=4)
+        )
+        previous_max = ""
+        for path in sorted(result.output_paths):
+            part_lines = fs.read_file(path).decode().splitlines()
+            if not part_lines:
+                continue
+            assert part_lines == sorted(part_lines)
+            assert part_lines[0] >= previous_max
+            previous_max = part_lines[-1]
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdef", min_size=1, max_size=6),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=25)
+    def test_property_sorts_any_input(self, lines):
+        fs = make_fs()
+        assert run_sort(fs, lines, num_reducers=3) == sorted(lines)

@@ -1,0 +1,93 @@
+"""Tests for the simulated cluster container."""
+
+import pytest
+
+from repro.errors import ProviderUnavailable, SimulationError
+from repro.simulation import (
+    GRID5000_LATENCY,
+    GRID5000_NIC_RATE,
+    Engine,
+    NodeSpec,
+    SimCluster,
+)
+
+
+class TestClusterConstruction:
+    def test_default_grid5000_constants(self):
+        assert GRID5000_NIC_RATE == pytest.approx(117.5 * (1 << 20))
+        assert GRID5000_LATENCY == pytest.approx(1e-4)
+
+    def test_add_single_node(self):
+        cluster = SimCluster()
+        node = cluster.add_node("vm", NodeSpec(nic_rate=100.0))
+        assert node.online
+        assert cluster.node("vm") is node
+        assert len(cluster) == 1
+
+    def test_add_nodes_batch_naming(self):
+        cluster = SimCluster()
+        nodes = cluster.add_nodes("dp", 12)
+        assert nodes[0].name == "dp-000"
+        assert nodes[-1].name == "dp-011"
+        assert len(cluster) == 12
+
+    def test_duplicate_name_rejected(self):
+        cluster = SimCluster()
+        cluster.add_node("x")
+        with pytest.raises(SimulationError):
+            cluster.add_node("x")
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(SimulationError):
+            SimCluster().node("ghost")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SimCluster().add_nodes("n", -1)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(nic_rate=0)
+
+
+class TestNodeBehaviour:
+    def test_send_between_nodes(self):
+        engine = Engine()
+        cluster = SimCluster(engine, latency=0.0)
+        a = cluster.add_node("a", NodeSpec(nic_rate=100.0))
+        cluster.add_node("b", NodeSpec(nic_rate=100.0))
+        engine.run(a.send("b", 1000.0))
+        assert engine.now == pytest.approx(10.0)
+
+    def test_send_to_node_object(self):
+        engine = Engine()
+        cluster = SimCluster(engine, latency=0.0)
+        a = cluster.add_node("a", NodeSpec(nic_rate=100.0))
+        b = cluster.add_node("b", NodeSpec(nic_rate=100.0))
+        engine.run(a.send(b, 500.0))
+        assert engine.now == pytest.approx(5.0)
+
+    def test_fail_kills_inflight_transfers(self):
+        engine = Engine()
+        cluster = SimCluster(engine, latency=0.0)
+        a = cluster.add_node("a", NodeSpec(nic_rate=100.0))
+        b = cluster.add_node("b", NodeSpec(nic_rate=100.0))
+        doomed = a.send(b, 1e9)
+
+        def killer():
+            yield engine.timeout(1.0)
+            b.fail()
+
+        engine.process(killer())
+
+        def waiter():
+            with pytest.raises(ProviderUnavailable):
+                yield doomed
+            return engine.now
+
+        p = engine.process(waiter())
+        engine.run(p)
+        assert engine.now == pytest.approx(1.0)
+        assert not b.online
+        b.recover()
+        assert b.online

@@ -1,0 +1,109 @@
+"""Property-based tests of the fluid network's physical sanity.
+
+Whatever the topology and the transfer mix, the model must conserve
+bytes, respect capacity lower bounds on completion times, and stay
+deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Engine, FlowNetwork
+
+
+@st.composite
+def workloads(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=8))
+    rates = [
+        float(draw(st.integers(min_value=10, max_value=1000))) for _ in range(n_nodes)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=12))
+    flows = []
+    for _ in range(n_flows):
+        src = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        dst = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        size = float(draw(st.integers(min_value=1, max_value=100_000)))
+        delay = float(draw(st.integers(min_value=0, max_value=50)))
+        cap = draw(
+            st.one_of(st.none(), st.integers(min_value=5, max_value=500))
+        )
+        flows.append((src, dst, size, delay, None if cap is None else float(cap)))
+    return rates, flows
+
+
+def run_workload(rates, flows):
+    engine = Engine()
+    net = FlowNetwork(engine, latency=0.0)
+    for i, rate in enumerate(rates):
+        net.add_node(f"n{i}", egress=rate, ingress=rate)
+    completions = {}
+
+    def starter(index, src, dst, size, delay, cap):
+        yield engine.timeout(delay)
+        yield net.transfer(f"n{src}", f"n{dst}", size, rate_cap=cap)
+        completions[index] = engine.now
+
+    procs = [
+        engine.process(starter(i, *flow)) for i, flow in enumerate(flows)
+    ]
+    engine.run(engine.all_of(procs))
+    return engine, net, completions
+
+
+class TestConservation:
+    @given(workloads())
+    @settings(max_examples=50)
+    def test_property_all_bytes_delivered(self, workload):
+        rates, flows = workload
+        _, net, completions = run_workload(rates, flows)
+        assert len(completions) == len(flows)
+        assert net.stats.transfers_completed == len(flows)
+        expected = sum(size for _, _, size, _, _ in flows)
+        assert net.stats.bytes_completed == pytest.approx(expected, rel=1e-6)
+
+    @given(workloads())
+    @settings(max_examples=50)
+    def test_property_completion_respects_capacity(self, workload):
+        """No flow beats size / min(path capacity, cap) after its start."""
+        rates, flows = workload
+        _, _, completions = run_workload(rates, flows)
+        for index, (src, dst, size, delay, cap) in enumerate(flows):
+            if src == dst:
+                continue  # loopback runs at memory speed
+            best_rate = min(rates[src], rates[dst])
+            if cap is not None:
+                best_rate = min(best_rate, cap)
+            lower_bound = delay + size / best_rate
+            assert completions[index] >= lower_bound * (1 - 1e-6)
+
+    @given(workloads())
+    @settings(max_examples=25)
+    def test_property_deterministic(self, workload):
+        rates, flows = workload
+        _, _, first = run_workload(rates, flows)
+        _, _, second = run_workload(rates, flows)
+        assert first == second
+
+    @given(workloads())
+    @settings(max_examples=25)
+    def test_property_single_flow_times_exact(self, workload):
+        """Run the flows one at a time: completion = start + size/rate."""
+        rates, flows = workload
+        engine = Engine()
+        net = FlowNetwork(engine, latency=0.0)
+        for i, rate in enumerate(rates):
+            net.add_node(f"n{i}", egress=rate, ingress=rate)
+
+        def sequential():
+            for src, dst, size, _delay, cap in flows:
+                if src == dst:
+                    continue
+                t0 = engine.now
+                yield net.transfer(f"n{src}", f"n{dst}", size, rate_cap=cap)
+                rate = min(rates[src], rates[dst])
+                if cap is not None:
+                    rate = min(rate, cap)
+                assert engine.now - t0 == pytest.approx(size / rate, rel=1e-9)
+
+        engine.run(engine.process(sequential()))

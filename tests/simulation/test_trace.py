@@ -1,0 +1,73 @@
+"""Tests for the measurement instruments."""
+
+import pytest
+
+from repro.simulation import Engine, Recorder
+from repro.simulation.trace import IntervalThroughput, Span
+
+
+class TestSpan:
+    def test_throughput(self):
+        span = Span("read", start=1.0, end=3.0, nbytes=200.0)
+        assert span.duration == 2.0
+        assert span.throughput == 100.0
+
+    def test_zero_duration(self):
+        assert Span("x", 1.0, 1.0, 50.0).throughput == 0.0
+
+
+class TestIntervalThroughput:
+    def test_aggregate_uses_wall_interval(self):
+        view = IntervalThroughput()
+        view.add(Span("a", 0.0, 10.0, 1000.0))
+        view.add(Span("b", 5.0, 20.0, 1000.0))
+        assert view.total_bytes == 2000.0
+        assert view.wall_interval == 20.0
+        assert view.aggregate == pytest.approx(100.0)
+
+    def test_per_client_mean(self):
+        view = IntervalThroughput()
+        view.add(Span("a", 0.0, 10.0, 1000.0))  # 100 B/s
+        view.add(Span("b", 0.0, 5.0, 1000.0))  # 200 B/s
+        assert view.per_client_mean == pytest.approx(150.0)
+
+    def test_empty(self):
+        view = IntervalThroughput()
+        assert view.aggregate == 0.0
+        assert view.per_client_mean == 0.0
+
+
+class TestRecorder:
+    def test_counters(self):
+        rec = Recorder(Engine())
+        rec.incr("reads")
+        rec.incr("reads", 2)
+        assert rec.counters["reads"] == 3
+
+    def test_series_timestamps(self):
+        engine = Engine()
+        rec = Recorder(engine)
+
+        def proc():
+            rec.sample("depth", 1.0)
+            yield engine.timeout(2.5)
+            rec.sample("depth", 4.0)
+
+        engine.run(engine.process(proc()))
+        assert rec.series["depth"] == [(0.0, 1.0), (2.5, 4.0)]
+
+    def test_spans_lifecycle(self):
+        engine = Engine()
+        rec = Recorder(engine)
+
+        def proc():
+            rec.span_start("c1", "read")
+            yield engine.timeout(4.0)
+            span = rec.span_end("c1", nbytes=400.0)
+            return span
+
+        span = engine.run(engine.process(proc()))
+        assert span.throughput == pytest.approx(100.0)
+        assert rec.spans_named("read") == [span]
+        assert rec.throughput("read").aggregate == pytest.approx(100.0)
+        assert rec.throughput().total_bytes == 400.0

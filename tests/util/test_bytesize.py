@@ -1,0 +1,76 @@
+"""Unit tests for byte-size parsing/formatting."""
+
+import pytest
+
+from repro.util import GB, KB, MB, TB, format_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_size(10.6) == 11
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+        assert parse_size("0") == 0
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64MB", 64 * MB),
+            ("64 MB", 64 * MB),
+            ("64mb", 64 * MB),
+            ("64MiB", 64 * MB),
+            ("4KB", 4 * KB),
+            ("4k", 4 * KB),
+            ("1GB", GB),
+            ("1.5GB", round(1.5 * GB)),
+            ("6.4 GB", round(6.4 * GB)),
+            ("2TB", 2 * TB),
+            ("128", 128),
+            ("128B", 128),
+            ("117.5MB/s", int(117.5 * MB)),
+        ],
+    )
+    def test_string_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_negative_number_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("sixty four megs")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("12 parsecs")
+
+    def test_non_string_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            parse_size([64])
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(12) == "12B"
+
+    def test_megabytes(self):
+        assert format_size(64 * MB) == "64.0MB"
+
+    def test_gigabytes_precision(self):
+        assert format_size(int(6.4 * GB), precision=2) == "6.40GB"
+
+    def test_negative(self):
+        assert format_size(-2 * KB) == "-2.0KB"
+
+    def test_roundtrip(self):
+        for n in (1, KB, 3 * MB, 7 * GB, 2 * TB):
+            assert parse_size(format_size(n, precision=6)) == pytest.approx(n, rel=1e-5)

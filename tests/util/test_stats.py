@@ -1,0 +1,90 @@
+"""Unit tests for statistics helpers (incl. the Figure 3(b) metric)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import harmonic_mean, layout_vector, manhattan_unbalance, summarize
+
+
+class TestManhattanUnbalance:
+    def test_perfectly_balanced_is_zero(self):
+        assert manhattan_unbalance([3, 3, 3, 3]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert manhattan_unbalance([]) == 0.0
+
+    def test_known_value(self):
+        # ideal = 2 each; distances 2,0,2 -> 4
+        assert manhattan_unbalance([4, 2, 0]) == 4.0
+
+    def test_single_hot_node(self):
+        # Paper: HDFS may store a whole file on one datanode.
+        n_nodes, blocks = 10, 100
+        vec = [blocks] + [0] * (n_nodes - 1)
+        ideal = blocks / n_nodes
+        expected = (blocks - ideal) + ideal * (n_nodes - 1)
+        assert manhattan_unbalance(vec) == pytest.approx(expected)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_property_nonnegative_and_shift_invariant(self, vec):
+        d = manhattan_unbalance(vec)
+        assert d >= 0
+        # Adding the same constant to every element keeps the distance.
+        assert manhattan_unbalance([v + 7 for v in vec]) == pytest.approx(d)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=30))
+    def test_property_balanced_is_minimum(self, vec):
+        total = sum(vec)
+        n = len(vec)
+        balanced = [total // n] * n
+        for i in range(total % n):
+            balanced[i] += 1
+        assert manhattan_unbalance(balanced) <= manhattan_unbalance(vec) + 1e-9
+
+
+class TestLayoutVector:
+    def test_from_mapping(self):
+        vec = layout_vector({"a": 2, "b": 0}, nodes=["a", "b", "c"])
+        assert vec == [2, 0, 0]
+
+    def test_from_iterable(self):
+        vec = layout_vector(["a", "a", "c"], nodes=["a", "b", "c"])
+        assert vec == [2, 0, 1]
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            layout_vector(["zz"], nodes=["a"])
+        with pytest.raises(KeyError):
+            layout_vector({"zz": 1}, nodes=["a"])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            layout_vector({"a": -1}, nodes=["a"])
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+    def test_summarize_single(self):
+        s = summarize([5.0])
+        assert s.stdev == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([])
