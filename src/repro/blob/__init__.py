@@ -17,6 +17,7 @@ from repro.blob.block import (
 )
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.diff import BlockRange, changed_ranges, diff_snapshots
+from repro.blob.io_engine import ParallelIOEngine
 from repro.blob.gc import GcReport, collect_garbage
 from repro.blob.metadata import MetadataService
 from repro.blob.provider_manager import (
@@ -80,6 +81,7 @@ __all__ = [
     "LocalFirstPolicy",
     "make_policy",
     "DataProviderCore",
+    "ParallelIOEngine",
     "MetadataService",
     "LocalBlobStore",
     "BlockLocation",

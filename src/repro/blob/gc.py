@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.blob.segment_tree import LeafNode, NodeKey, iter_reachable
 from repro.blob.store import LocalBlobStore
-from repro.errors import BlobError
+from repro.errors import BlobError, ProviderUnavailable
 
 __all__ = ["GcReport", "collect_garbage"]
 
@@ -104,13 +104,28 @@ def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> Gc
                     swept_keys.add(key)
                     nodes_deleted += 1
 
-    # Sweep data providers.
+    # Sweep data providers.  Offline providers are skipped, not an
+    # error — including ones that go down *during* the sweep: their
+    # garbage (e.g. replicas stranded by a rolled-back write) keeps
+    # its allocator charge and is reclaimed by the first sweep after
+    # they recover, so each charge is released exactly once and a
+    # down provider can't abort a pass midway.
     blocks_deleted = 0
     bytes_freed = 0
     for provider in store.providers.values():
+        if not provider.online:
+            continue
         for block_id in provider.block_ids():
             if block_id[0] == blob_id and block_id not in marked_blocks:
-                freed = provider.delete(block_id)
+                try:
+                    freed = provider.delete(block_id)
+                except ProviderUnavailable:
+                    break  # went down mid-sweep; next pass finishes it
+                if freed == 0:
+                    # Already gone (raced with a concurrent write
+                    # rollback): whoever deleted it returned its
+                    # charge; releasing again would undercount.
+                    continue
                 blocks_deleted += 1
                 bytes_freed += freed
                 store.provider_manager.release(provider.name, freed)

@@ -14,6 +14,7 @@ the placement ablation benchmark.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
@@ -152,6 +153,7 @@ class ProviderManagerCore:
         )
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._providers: dict[str, ProviderInfo] = {}
+        self._lock = threading.Lock()
 
     # -- membership -------------------------------------------------------------
 
@@ -202,31 +204,66 @@ class ProviderManagerCore:
             raise ValueError(f"count must be >= 1, got {count}")
         if len(block_sizes) != count:
             raise ValueError(f"need {count} block sizes, got {len(block_sizes)}")
-        live = self.live_providers()
-        if len(live) < replication:
-            raise ReplicationError(
-                f"replication {replication} impossible with {len(live)} live providers"
-            )
-        primaries = self.policy.choose(count, live, self._rng, client)
-        live_names = [p.name for p in live]
-        placements: list[tuple[str, ...]] = []
-        for seq, primary in enumerate(primaries):
-            start = live_names.index(primary)
-            replicas = tuple(
-                live_names[(start + r) % len(live_names)] for r in range(replication)
-            )
-            placements.append(replicas)
-            for name in replicas:
-                info = self._providers[name]
-                info.blocks += 1
-                info.bytes += block_sizes[seq]
-        return placements
+        with self._lock:
+            live = self.live_providers()
+            if len(live) < replication:
+                raise ReplicationError(
+                    f"replication {replication} impossible with {len(live)} live providers"
+                )
+            primaries = self.policy.choose(count, live, self._rng, client)
+            live_names = [p.name for p in live]
+            placements: list[tuple[str, ...]] = []
+            for seq, primary in enumerate(primaries):
+                start = live_names.index(primary)
+                replicas = tuple(
+                    live_names[(start + r) % len(live_names)] for r in range(replication)
+                )
+                placements.append(replicas)
+                for name in replicas:
+                    info = self._providers[name]
+                    info.blocks += 1
+                    info.bytes += block_sizes[seq]
+            return placements
+
+    def _release_one(self, name: str, nbytes: int) -> None:
+        """Return one block's charge; caller holds ``self._lock``."""
+        info = self._provider(name)
+        info.blocks = max(0, info.blocks - 1)
+        info.bytes = max(0, info.bytes - nbytes)
 
     def release(self, provider: str, nbytes: int) -> None:
         """Return capacity after a GC deletion (one block of *nbytes*)."""
-        info = self._provider(provider)
-        info.blocks = max(0, info.blocks - 1)
-        info.bytes = max(0, info.bytes - nbytes)
+        with self._lock:
+            self._release_one(provider, nbytes)
+
+    def release_placements(
+        self,
+        placements: Sequence[tuple[str, ...]],
+        block_sizes: Sequence[int],
+        skip: frozenset[tuple[int, str]] = frozenset(),
+    ) -> None:
+        """Undo :meth:`allocate` after a failed write (paper §III-D).
+
+        "If, for some reason, writing of a block fails, then the whole
+        write fails" — and a failed write must not keep charging the
+        load-balancer: leaked ``blocks``/``bytes`` would permanently
+        skew :class:`LeastLoadedPolicy` and the Figure 3(b) layout
+        vector toward providers that never actually stored anything.
+
+        *skip* holds ``(seq, provider_name)`` replicas to leave
+        charged: a replica stranded on an offline provider really does
+        still occupy its bytes, and the GC sweep returns that charge
+        exactly once when it reclaims the orphan.
+        """
+        if len(placements) != len(block_sizes):
+            raise ValueError(
+                f"need {len(placements)} block sizes, got {len(block_sizes)}"
+            )
+        with self._lock:
+            for seq, (replicas, nbytes) in enumerate(zip(placements, block_sizes)):
+                for name in replicas:
+                    if (seq, name) not in skip:
+                        self._release_one(name, nbytes)
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -15,9 +15,22 @@ client protocols against them:
 
 This class is the reference implementation the property-based tests
 check against a model, and the engine the BSFS file system runs on.
-It is thread-compatible (a lock around version-manager state mirrors
-the real serialization point) though single-process — wall-clock
-concurrency claims are the business of the simulated deployment.
+Locking is deliberately two-tier, mirroring the paper's architecture:
+
+* the **control plane** (version manager, placement allocator, nonce
+  counter) sits behind one small lock — the real deployment's single
+  serialization point;
+* the **data plane** (block puts/gets against providers, metadata
+  patch weaving) runs without any store-wide lock; each provider
+  guards only its own block map.
+
+With ``io_workers > 0`` the data plane additionally runs *parallel*:
+a shared :class:`~repro.blob.io_engine.ParallelIOEngine` scatters a
+write's block replicas across providers concurrently and gathers a
+read's blocks the same way, so wall-clock throughput scales with the
+worker count whenever providers have real (or simulated) service
+latency.  ``io_workers=0`` (the default) keeps the historical inline
+behavior.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ from repro.blob.block import (
     concat,
 )
 from repro.blob.data_provider import DataProviderCore
+from repro.blob.io_engine import ParallelIOEngine
 from repro.blob.metadata import MetadataService
 from repro.blob.provider_manager import PlacementPolicy, ProviderManagerCore
 from repro.blob.segment_tree import (
@@ -103,6 +117,8 @@ class LocalBlobStore:
         metadata_replication: int = 1,
         placement: Union[str, PlacementPolicy] = "round_robin",
         seed: int = 0,
+        io_workers: int = 0,
+        provider_latency: float = 0.0,
     ):
         if isinstance(data_providers, int):
             data_providers = [f"provider-{i:03d}" for i in range(data_providers)]
@@ -111,6 +127,8 @@ class LocalBlobStore:
         self.block_size = parse_size(block_size)
         if self.block_size < 1:
             raise ValueError("block_size must be >= 1")
+        if io_workers < 0:
+            raise ValueError(f"io_workers must be >= 0, got {io_workers}")
         self.replication = replication
         self.version_manager = VersionManagerCore()
         self.provider_manager = ProviderManagerCore(
@@ -119,13 +137,36 @@ class LocalBlobStore:
         self.providers: dict[str, DataProviderCore] = {}
         for name in data_providers:
             self.provider_manager.register(name)
-            self.providers[name] = DataProviderCore(name)
+            self.providers[name] = DataProviderCore(name, latency=provider_latency)
         self.metadata = MetadataService(
             DhtStore(list(metadata_providers), replication=metadata_replication)
+        )
+        #: Shared scatter-gather pool; ``None`` means inline (serial) I/O.
+        self.io_engine: Optional[ParallelIOEngine] = (
+            ParallelIOEngine(io_workers) if io_workers > 0 else None
         )
         self._nonce = itertools.count(1)
         self._lock = threading.Lock()
         self._blob_counter = itertools.count(1)
+
+    # -- lifecycle of the store itself ---------------------------------------------
+
+    def close(self) -> None:
+        """Release the I/O engine's threads (idempotent, optional)."""
+        if self.io_engine is not None:
+            self.io_engine.shutdown()
+
+    def __enter__(self) -> "LocalBlobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _map_io(self, fn, items):
+        """Run data-plane work via the engine, or inline when absent."""
+        if self.io_engine is not None:
+            return self.io_engine.map(fn, items)
+        return [fn(item) for item in items]
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -185,35 +226,112 @@ class LocalBlobStore:
         payloads = _split_payload(data, block_size)
         sizes = [p.size for p in payloads]
 
-        # Phase 1 — publish data blocks.  In the distributed deployment
-        # every writer does this in parallel with all others; here it is
-        # sequential code but the protocol (and its failure points) are
-        # the same.
+        # Phase 1 — publish data blocks: scatter every (block, replica)
+        # transfer across the providers, in parallel when the store has
+        # an I/O engine.  Allocation stays under the control lock (the
+        # provider manager is the placement serialization point).
         with self._lock:
             nonce = next(self._nonce)
             placements = self.provider_manager.allocate(
                 len(payloads), sizes, replication=state.replication
             )
-        for seq, (payload, replicas) in enumerate(zip(payloads, placements)):
-            for provider_name in replicas:
-                # "If, for some reason, writing of a block fails, then
-                # the whole write fails." (§III-D)
-                self.providers[provider_name].put((blob_id, nonce, seq), payload)
+        stored = self._store_blocks(blob_id, nonce, payloads, placements, sizes)
 
-        # Phase 2 — version assignment (the serialization point) ...
-        with self._lock:
-            if append:
-                ticket = self.version_manager.assign_append(blob_id, sum(sizes))
-            else:
-                assert offset is not None
-                ticket = self.version_manager.assign_write(blob_id, offset, sum(sizes))
+        # Phase 2 — version assignment (the serialization point).  The
+        # version manager validates the range *before* recording
+        # anything, so a rejection here (misaligned offset, unaligned
+        # append, hole) leaves it untouched — but the data blocks are
+        # already out, and must be rolled back like any failed write.
+        try:
+            with self._lock:
+                if append:
+                    ticket = self.version_manager.assign_append(blob_id, sum(sizes))
+                else:
+                    assert offset is not None
+                    ticket = self.version_manager.assign_write(
+                        blob_id, offset, sum(sizes)
+                    )
+        except BaseException:
+            self._rollback_write(stored, placements, sizes)
+            raise
 
         # ... then weave and publish metadata (concurrent by design).
+        # Known gap: a publish failure here (every replica of a metadata
+        # bucket down) happens *after* the ticket was assigned, and the
+        # version manager has no abort protocol yet — the ticket stays
+        # in flight and the write's blocks are not rolled back.  Needs
+        # a ticket-abort step in VersionManagerCore (see ROADMAP.md).
         self._publish_metadata(ticket, nonce, sizes, placements)
 
         with self._lock:
             self.version_manager.commit(blob_id, ticket.version)
         return ticket.version
+
+    def _store_blocks(
+        self,
+        blob_id: str,
+        nonce: int,
+        payloads: list[Payload],
+        placements: list[tuple[str, ...]],
+        sizes: list[int],
+    ) -> list[tuple[str, tuple[str, int, int]]]:
+        """Scatter every block replica to its provider; all-or-nothing.
+
+        "If, for some reason, writing of a block fails, then the whole
+        write fails." (§III-D)  On failure every replica already stored
+        by this write is deleted from its (live) provider and the
+        placement allocation is returned, so a failed write leaves no
+        orphaned blocks and no phantom load-balancer charge.  Returns
+        the ``(provider, block_id)`` pairs stored, so the caller can
+        roll back if a *later* protocol step rejects the write.
+        """
+        transfers = [
+            (provider_name, (blob_id, nonce, seq), payload)
+            for seq, (payload, replicas) in enumerate(zip(payloads, placements))
+            for provider_name in replicas
+        ]
+        stored: list[tuple[str, tuple[str, int, int]]] = []
+        stored_lock = threading.Lock()
+
+        def transfer(task) -> None:
+            provider_name, block_id, payload = task
+            self.providers[provider_name].put(block_id, payload)
+            with stored_lock:
+                stored.append((provider_name, block_id))
+
+        try:
+            self._map_io(transfer, transfers)
+        except BaseException:
+            # BaseException: a KeyboardInterrupt mid-scatter must also
+            # leave no orphaned replicas or phantom allocator charges.
+            self._rollback_write(stored, placements, sizes)
+            raise
+        return stored
+
+    def _rollback_write(
+        self,
+        stored: list[tuple[str, tuple[str, int, int]]],
+        placements: list[tuple[str, ...]],
+        sizes: list[int],
+    ) -> None:
+        """Undo the stored half of a failed write (no orphans, §III-D)."""
+        # Replicas whose charge must NOT be released here: stranded on
+        # an offline provider (the bytes really are there; the GC sweep
+        # releases the charge when it reclaims the orphan — exactly
+        # once), or already deleted by a racing GC sweep (which then
+        # already released the charge — also exactly once).
+        keep_charged: set[tuple[int, str]] = set()
+        for provider_name, block_id in stored:
+            try:
+                freed = self.providers[provider_name].delete(block_id)
+            except ProviderUnavailable:
+                keep_charged.add((block_id[2], provider_name))
+                continue
+            if freed == 0:
+                keep_charged.add((block_id[2], provider_name))
+        self.provider_manager.release_placements(
+            placements, sizes, skip=frozenset(keep_charged)
+        )
 
     def _publish_metadata(
         self,
@@ -287,11 +405,14 @@ class LocalBlobStore:
         if size == 0:
             return BytesPayload(b"")
         descriptors = self._collect_descriptors(info, offset, size)
+        # Gather the touched blocks — concurrently, when the store has
+        # an I/O engine; each block still fails over between replicas
+        # independently inside ``_fetch_block``.
+        payloads = self._map_io(self._fetch_block, descriptors)
         parts: list[Payload] = []
-        for slice_, descriptor in zip(
-            split_range(offset, size, info.block_size), descriptors
+        for slice_, descriptor, payload in zip(
+            split_range(offset, size, info.block_size), descriptors, payloads
         ):
-            payload = self._fetch_block(descriptor)
             want_end = slice_.start + slice_.length
             if want_end > payload.size:
                 raise InvalidRange(
@@ -332,7 +453,12 @@ class LocalBlobStore:
                 continue
             try:
                 return provider.get(descriptor.block_id)
-            except KeyError as exc:
+            except (KeyError, ProviderUnavailable) as exc:
+                # KeyError: replica missing (e.g. rolled back).
+                # ProviderUnavailable: the provider went down between
+                # the ``online`` check above and the fetch — fall
+                # through to the next replica instead of aborting a
+                # read that still has live copies.
                 last_error = exc
         raise ProviderUnavailable(
             f"no live replica of block {descriptor.block_id} "

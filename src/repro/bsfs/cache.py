@@ -9,13 +9,21 @@
 These two mechanisms are implemented here generically over callback
 functions, so the BSFS client, the HDFS client and the simulated
 clients all share them.
+
+When the backing store has a :class:`~repro.blob.io_engine.\
+ParallelIOEngine`, :class:`BlockReadCache` can additionally *read
+ahead*: while the client consumes block *i*, the next ``readahead``
+blocks are fetched on the engine in the background, hiding provider
+latency behind Hadoop's strictly sequential access pattern.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable
+from concurrent.futures import Future
+from typing import Callable, Optional
 
+from repro.blob.io_engine import ParallelIOEngine
 from repro.errors import InvalidRange
 
 __all__ = ["BlockReadCache", "WriteBuffer"]
@@ -31,6 +39,9 @@ class BlockReadCache:
         file_size: immutable size of the snapshot being read.
         capacity: number of blocks kept (Hadoop keeps ~1; a little more
             helps the MapReduce record reader cross block boundaries).
+        engine: optional parallel I/O engine used for read-ahead.
+        readahead: blocks to prefetch in the background past the one
+            being served (0 disables; requires *engine*).
     """
 
     def __init__(
@@ -39,6 +50,8 @@ class BlockReadCache:
         block_size: int,
         file_size: int,
         capacity: int = 2,
+        engine: Optional[ParallelIOEngine] = None,
+        readahead: int = 0,
     ):
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
@@ -46,20 +59,34 @@ class BlockReadCache:
             raise ValueError("capacity must be >= 1")
         if file_size < 0:
             raise ValueError("file_size must be >= 0")
+        if readahead < 0:
+            raise ValueError("readahead must be >= 0")
+        if readahead > 0 and engine is None:
+            raise ValueError("readahead requires an I/O engine")
         self._fetch = fetch_block
         self.block_size = block_size
         self.file_size = file_size
         self.capacity = capacity
+        self._engine = engine
+        self.readahead = readahead
         self._blocks: OrderedDict[int, bytes] = OrderedDict()
-        #: Number of backend block fetches (cache-miss counter).
+        # In-flight read-ahead fetches, keyed by block index.  Only the
+        # cache's owning thread touches this dict; engine threads just
+        # run the fetch callable inside the future.
+        self._pending: dict[int, "Future[bytes]"] = {}
+        # Last block index served; read-ahead only triggers while the
+        # access pattern stays sequential (Hadoop's pattern), so random
+        # preads don't turn into a background-fetch amplifier.
+        self._last_served: Optional[int] = None
+        #: Number of backend block fetches (cache-miss counter;
+        #: includes read-ahead fetches).
         self.fetches = 0
 
-    def _block(self, index: int) -> bytes:
-        if index in self._blocks:
-            self._blocks.move_to_end(index)
-            return self._blocks[index]
-        data = self._fetch(index)
-        self.fetches += 1
+    @property
+    def _last_block(self) -> int:
+        return max(0, (self.file_size - 1) // self.block_size)
+
+    def _admit(self, index: int, data: bytes) -> bytes:
         expected = min(self.block_size, self.file_size - index * self.block_size)
         if len(data) != expected:
             raise InvalidRange(
@@ -68,6 +95,59 @@ class BlockReadCache:
         self._blocks[index] = data
         if len(self._blocks) > self.capacity:
             self._blocks.popitem(last=False)
+        return data
+
+    def _readahead(self, index: int) -> None:
+        """Schedule background fetches for the blocks after *index*.
+
+        Only fires while access is sequential (first access, a repeat
+        of the last block, or its successor); a seek elsewhere drops
+        the now-useless pending futures instead of piling more on.
+        """
+        if not self.readahead or self._engine is None:
+            return
+        sequential = self._last_served is None or index in (
+            self._last_served,
+            self._last_served + 1,
+        )
+        self._last_served = index
+        if not sequential:
+            # Abandon the now-useless prefetches: cancel the ones still
+            # queued (sparing backend fetches and pool capacity); the
+            # in-flight ones just expire.  A successfully cancelled
+            # fetch never hit the backend — uncount it.
+            for future in self._pending.values():
+                if future.cancel():
+                    self.fetches -= 1
+            self._pending.clear()
+            return
+        for ahead in range(index + 1, min(index + self.readahead, self._last_block) + 1):
+            if ahead in self._blocks or ahead in self._pending:
+                continue
+            self._pending[ahead] = self._engine.submit(self._fetch, ahead)
+            self.fetches += 1
+
+    def _block(self, index: int) -> bytes:
+        if index in self._blocks:
+            self._blocks.move_to_end(index)
+            self._readahead(index)
+            return self._blocks[index]
+        future = self._pending.pop(index, None)
+        data: Optional[bytes] = None
+        if future is not None:
+            try:
+                data = future.result()  # fetch already counted at submit
+            except Exception:
+                # The prefetch hit a transient failure (e.g. a replica's
+                # provider flapping); the world may have healed since —
+                # retry inline rather than failing a read that would
+                # succeed without read-ahead.
+                data = None
+        if data is None:
+            data = self._fetch(index)
+            self.fetches += 1
+        data = self._admit(index, data)
+        self._readahead(index)
         return data
 
     def pread(self, offset: int, size: int) -> bytes:

@@ -76,7 +76,11 @@ class BSFSReadStream(ReadStream):
     """
 
     def __init__(
-        self, store: LocalBlobStore, blob_id: str, version: Optional[int] = None
+        self,
+        store: LocalBlobStore,
+        blob_id: str,
+        version: Optional[int] = None,
+        readahead: int = 0,
     ):
         info = store.snapshot(blob_id, version)
         self._store = store
@@ -84,10 +88,14 @@ class BSFSReadStream(ReadStream):
         self.version = info.version
         self._size = info.size
         self._pos = 0
+        engine = store.io_engine if readahead > 0 else None
         self._cache = BlockReadCache(
             fetch_block=self._fetch_block,
             block_size=info.block_size,
             file_size=info.size,
+            capacity=max(2, 1 + readahead) if engine is not None else 2,
+            engine=engine,
+            readahead=readahead if engine is not None else 0,
         )
 
     def _fetch_block(self, index: int) -> bytes:
@@ -136,10 +144,23 @@ class BSFSReadStream(ReadStream):
 class BSFSFileSystem(FileSystem):
     """Hadoop FileSystem over BlobSeer."""
 
-    def __init__(self, store: Optional[LocalBlobStore] = None, **store_kwargs):
+    def __init__(
+        self,
+        store: Optional[LocalBlobStore] = None,
+        readahead: int = 0,
+        **store_kwargs,
+    ):
         self.store = store if store is not None else LocalBlobStore(**store_kwargs)
         self.namespace = NamespaceManager()
         self.block_size = self.store.block_size
+        #: Blocks prefetched ahead of sequential readers (needs a store
+        #: with ``io_workers > 0``; silently inert otherwise).
+        self.readahead = readahead
+
+    @property
+    def io_engine(self):
+        """The store's shared parallel I/O engine (``None`` if inline)."""
+        return self.store.io_engine
 
     # -- streams ---------------------------------------------------------------
 
@@ -158,7 +179,9 @@ class BSFSFileSystem(FileSystem):
         the default — latest published — is what Hadoop always gets.
         """
         entry = self.namespace.lookup(path)
-        return BSFSReadStream(self.store, entry.blob_id, version=version)
+        return BSFSReadStream(
+            self.store, entry.blob_id, version=version, readahead=self.readahead
+        )
 
     def append(self, path: str, client: Optional[str] = None) -> BSFSWriteStream:
         """Open for appending — the §V-F capability HDFS lacks."""

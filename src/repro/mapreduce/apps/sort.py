@@ -44,7 +44,9 @@ def sample_cut_points(
     if num_reducers == 1:
         return []
     sample: list[str] = []
-    splits = compute_file_splits(fs, list(input_paths), fs.block_size)
+    splits = compute_file_splits(
+        fs, list(input_paths), fs.block_size, engine=getattr(fs, "io_engine", None)
+    )
     for split in splits:
         with fs.open(split.path) as stream:
             taken = 0

@@ -62,13 +62,19 @@ Split = Union[FileSplit, SyntheticSplit]
 
 
 def compute_file_splits(
-    fs: FileSystem, paths: Sequence[str], split_size: int
+    fs: FileSystem, paths: Sequence[str], split_size: int, engine=None
 ) -> list[FileSplit]:
     """Block-aligned splits for every file under *paths* (dirs recurse).
 
     "Usually Hadoop assigns a single mapper to process such a data
     block" — with ``split_size == block_size`` each block is one split,
     located on the hosts storing that block.
+
+    *engine* (a :class:`~repro.blob.io_engine.ParallelIOEngine`, e.g.
+    the file system's own ``io_engine``) resolves the per-file block
+    locations concurrently — split planning over a many-file input is
+    pure metadata fan-out, the kind of job-startup latency §IV-C's
+    layout primitive exists to keep cheap.
     """
     if split_size < 1:
         raise ValueError("split_size must be >= 1")
@@ -86,11 +92,10 @@ def compute_file_splits(
                         files.append(child)
         else:
             files.append(path)
-    splits: list[FileSplit] = []
-    for file_path in sorted(files):
+
+    def splits_of(file_path: str) -> list[FileSplit]:
         size = fs.status(file_path).size
-        if size == 0:
-            continue
+        splits: list[FileSplit] = []
         offset = 0
         while offset < size:
             length = min(split_size, size - offset)
@@ -100,7 +105,14 @@ def compute_file_splits(
                 FileSplit(path=file_path, offset=offset, length=length, hosts=hosts)
             )
             offset += length
-    return splits
+        return splits
+
+    ordered = sorted(files)
+    if engine is not None and len(ordered) > 1:
+        per_file = engine.map(splits_of, ordered)
+    else:
+        per_file = [splits_of(f) for f in ordered]
+    return [split for file_splits in per_file for split in file_splits]
 
 
 def _scan_to_newline(stream: ReadStream, position: int) -> int:

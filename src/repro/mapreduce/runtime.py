@@ -93,7 +93,12 @@ class LocalJobRunner:
             splits = [SyntheticSplit(index=i) for i in range(job.synthetic_maps)]
         else:
             split_size = job.split_size or self.fs.block_size
-            splits = compute_file_splits(self.fs, list(job.input_paths), split_size)
+            splits = compute_file_splits(
+                self.fs,
+                list(job.input_paths),
+                split_size,
+                engine=getattr(self.fs, "io_engine", None),
+            )
         if not splits:
             raise JobFailed(f"job {job.name!r} has no input")
 

@@ -1,0 +1,228 @@
+"""The parallel I/O engine and its store integration.
+
+Covers the :class:`~repro.blob.io_engine.ParallelIOEngine` contract
+(ordering, caller participation, fail-fast), the read-failover fix
+(``ProviderUnavailable`` mid-fetch falls through to the next replica),
+and a concurrent stress scenario: threads appending and reading while a
+provider fails and recovers under them.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.blob import LocalBlobStore
+from repro.blob.io_engine import ParallelIOEngine
+from repro.errors import ProviderUnavailable, ReplicationError
+
+BS = 16
+
+
+class TestParallelIOEngine:
+    def test_map_preserves_input_order(self):
+        with ParallelIOEngine(4) as engine:
+            assert engine.map(lambda x: x * x, range(50)) == [x * x for x in range(50)]
+
+    def test_map_single_item_runs_inline(self):
+        with ParallelIOEngine(2) as engine:
+            thread_names = engine.map(lambda _: threading.current_thread().name, [0])
+        assert thread_names == [threading.current_thread().name]
+
+    def test_caller_participates_in_the_work(self):
+        # Even a 1-thread pool finishes a fan-out of many items because
+        # the calling thread drains the queue alongside the pool.
+        def slow_name(_):
+            time.sleep(0.005)
+            return threading.current_thread().name
+
+        with ParallelIOEngine(1) as engine:
+            workers = set(engine.map(slow_name, range(8)))
+        assert threading.current_thread().name in workers
+        assert len(workers) == 2  # caller + the one pool thread
+
+    def test_first_error_propagates_and_stops_the_fanout(self):
+        ran = []
+        lock = threading.Lock()
+
+        def job(i):
+            if i == 3:
+                raise ValueError("boom")
+            with lock:
+                ran.append(i)
+            return i
+
+        with ParallelIOEngine(2) as engine:
+            with pytest.raises(ValueError, match="boom"):
+                engine.map(job, range(200))
+        # Fail-fast: the overwhelming majority of the queue was skipped.
+        assert len(ran) < 200
+
+    def test_submit_returns_a_future(self):
+        with ParallelIOEngine(2) as engine:
+            assert engine.submit(sum, (1, 2, 3)).result() == 6
+
+    def test_map_not_stalled_by_unrelated_long_pool_task(self):
+        # A sleeping background task (read-ahead) occupying the whole
+        # pool must not stall a map() whose work the caller already
+        # finished: unstarted drain helpers get cancelled, not awaited.
+        release = threading.Event()
+        with ParallelIOEngine(1) as engine:
+            blocker = engine.submit(release.wait, 10)
+            start = time.perf_counter()
+            result = engine.map(lambda x: x + 1, range(16))
+            elapsed = time.perf_counter() - start
+            release.set()
+            blocker.result(timeout=10)
+        assert result == list(range(1, 17))
+        assert elapsed < 5  # nowhere near the blocker's 10 s wait
+
+    def test_nested_map_from_a_pool_thread_runs_inline(self):
+        # A submitted task fanning out again (read-ahead fetching a
+        # multi-block range) must not deadlock a saturated pool.
+        with ParallelIOEngine(1) as engine:
+
+            def task():
+                return engine.map(lambda x: x + 1, [1, 2, 3])
+
+            assert engine.submit(task).result(timeout=10) == [2, 3, 4]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelIOEngine(0)
+
+
+@pytest.mark.parametrize("io_workers", [0, 4])
+class TestStoreParallelPaths:
+    def test_read_write_roundtrip_matches_inline_semantics(self, io_workers):
+        store = LocalBlobStore(
+            data_providers=8, metadata_providers=3, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+        data = bytes(i % 251 for i in range(10 * BS + 7))
+        store.append(blob, data)
+        assert store.read(blob) == data
+        assert store.read(blob, offset=BS + 3, size=3 * BS) == data[BS + 3 : 4 * BS + 3]
+        store.close()
+
+    def test_fetch_failover_on_provider_unavailable_mid_read(self, io_workers):
+        store = LocalBlobStore(
+            data_providers=4,
+            metadata_providers=2,
+            block_size=BS,
+            replication=2,
+            io_workers=io_workers,
+        )
+        blob = store.create()
+        store.append(blob, b"q" * (4 * BS))
+        primary = store.block_locations(blob, 0, BS)[0].providers[0]
+        # The regression: a provider that passes the ``online`` check
+        # but raises ProviderUnavailable from get() (it died between
+        # check and fetch) must fail over, not abort the read.
+        provider = store.providers[primary]
+
+        def get_raising(block_id):
+            raise ProviderUnavailable(f"{primary} died mid-fetch")
+
+        provider.get = get_raising
+        assert store.read(blob) == b"q" * (4 * BS)
+        store.close()
+
+    def test_read_fails_only_when_every_replica_is_gone(self, io_workers):
+        store = LocalBlobStore(
+            data_providers=2,
+            metadata_providers=2,
+            block_size=BS,
+            replication=2,
+            io_workers=io_workers,
+        )
+        blob = store.create()
+        store.append(blob, b"z" * BS)
+        for name in store.block_locations(blob, 0, BS)[0].providers:
+            store.fail_provider(name)
+        with pytest.raises(ProviderUnavailable):
+            store.read(blob)
+        store.close()
+
+
+class TestConcurrentStress:
+    def test_appends_and_reads_while_a_provider_fails_and_recovers(self):
+        store = LocalBlobStore(
+            data_providers=8,
+            metadata_providers=3,
+            block_size=BS,
+            replication=2,
+            io_workers=4,
+        )
+        blob = store.create()
+        store.append(blob, bytes([255]) * BS)  # v1: one block baseline
+        n_appenders, appends_each = 4, 8
+        stop = threading.Event()
+        errors = []
+
+        def appender(tid):
+            done = 0
+            payload = bytes([tid + 1]) * BS
+            while done < appends_each:
+                try:
+                    store.append(blob, payload)
+                    done += 1
+                except (ProviderUnavailable, ReplicationError):
+                    continue  # failed write rolled back; try again
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    version = store.latest_version(blob)
+                    data = store.read(blob, version=version)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                if len(data) != version * BS:
+                    errors.append(
+                        AssertionError(f"v{version} returned {len(data)}B")
+                    )
+                    return
+                # Every block is one append's uniform payload.
+                for i in range(version):
+                    block = data[i * BS : (i + 1) * BS]
+                    if block != bytes([block[0]]) * BS:
+                        errors.append(AssertionError(f"torn block at {i}"))
+                        return
+
+        def chaos():
+            victims = ["provider-003", "provider-006"]
+            i = 0
+            while not stop.is_set():
+                victim = victims[i % len(victims)]
+                store.fail_provider(victim)
+                stop.wait(0.002)
+                store.recover_provider(victim)
+                stop.wait(0.001)
+                i += 1
+
+        threads = [
+            threading.Thread(target=appender, args=(t,)) for t in range(n_appenders)
+        ] + [threading.Thread(target=reader) for _ in range(2)] + [
+            threading.Thread(target=chaos)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads[:n_appenders]:
+            t.join()
+        stop.set()
+        for t in threads[n_appenders:]:
+            t.join()
+
+        assert not errors
+        total_blocks = 1 + n_appenders * appends_each
+        assert store.latest_version(blob) == total_blocks
+        data = store.read(blob)
+        assert len(data) == total_blocks * BS
+        # No orphans: providers hold exactly replication copies of each
+        # published block, nothing more (failed writes rolled back).
+        assert sum(store.provider_block_counts().values()) == 2 * total_blocks
+        store.close()
