@@ -8,11 +8,13 @@ linearizable publication (paper §III).
 """
 
 from repro.blob.block import (
+    AnyBlockDescriptor,
     BlockDescriptor,
     BlockId,
     BytesPayload,
     Payload,
     SyntheticPayload,
+    ZeroBlockDescriptor,
     concat,
 )
 from repro.blob.data_provider import DataProviderCore
@@ -35,8 +37,10 @@ from repro.blob.segment_tree import (
     InnerNode,
     LeafNode,
     NodeKey,
+    RedirectLeaf,
     TreeNode,
     build_patch,
+    build_tombstone_patch,
     collect_blocks,
     iter_reachable,
     latest_intersecting,
@@ -46,6 +50,7 @@ from repro.blob.store import DEFAULT_BLOCK_SIZE, BlockLocation, LocalBlobStore
 from repro.blob.version_manager import (
     BlobState,
     SnapshotInfo,
+    TombstoneSpec,
     VersionManagerCore,
     WriteRecord,
     WriteTicket,
@@ -57,14 +62,18 @@ __all__ = [
     "Payload",
     "concat",
     "BlockDescriptor",
+    "ZeroBlockDescriptor",
+    "AnyBlockDescriptor",
     "BlockId",
     "NodeKey",
     "LeafNode",
+    "RedirectLeaf",
     "InnerNode",
     "TreeNode",
     "root_span",
     "latest_intersecting",
     "build_patch",
+    "build_tombstone_patch",
     "DescentPlan",
     "collect_blocks",
     "iter_reachable",
@@ -72,6 +81,7 @@ __all__ = [
     "WriteRecord",
     "WriteTicket",
     "SnapshotInfo",
+    "TombstoneSpec",
     "BlobState",
     "ProviderManagerCore",
     "PlacementPolicy",

@@ -19,7 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-__all__ = ["BytesPayload", "SyntheticPayload", "Payload", "BlockDescriptor", "BlockId", "concat"]
+__all__ = [
+    "BytesPayload",
+    "SyntheticPayload",
+    "Payload",
+    "BlockDescriptor",
+    "ZeroBlockDescriptor",
+    "AnyBlockDescriptor",
+    "BlockId",
+    "concat",
+]
 
 
 @dataclass(frozen=True)
@@ -152,3 +161,53 @@ class BlockDescriptor:
     def block_id(self) -> BlockId:
         """Storage key for provider lookups (version-independent)."""
         return (self.blob_id, self.nonce, self.seq)
+
+    @property
+    def is_zero(self) -> bool:
+        """False: this block is physically stored on its providers."""
+        return False
+
+
+@dataclass(frozen=True)
+class ZeroBlockDescriptor:
+    """A block of zeros materialised by a tombstoned (aborted) version.
+
+    When a writer dies after version assignment, its version is
+    converted into a tombstone (see DESIGN.md §7): ranges the dead
+    write would have *created* are defined to read as zeros.  No
+    provider stores such a block — readers synthesise the zeros
+    locally — so the descriptor carries no nonce, no replica set and
+    no storage identity.
+    """
+
+    blob_id: str
+    version: int
+    index: int
+    size: int
+    #: Kept for interface parity with :class:`BlockDescriptor`
+    #: (layout queries report "no provider holds this range").
+    providers: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError(f"blocks are written by versions >= 1, got {self.version}")
+        if self.index < 0:
+            raise ValueError(f"block index must be >= 0, got {self.index}")
+        if self.size <= 0:
+            raise ValueError(f"block size must be positive, got {self.size}")
+        if self.providers:
+            raise ValueError("zero blocks are synthesised by readers, never stored")
+
+    @property
+    def block_id(self) -> None:
+        """Zero blocks have no storage identity (nothing to fetch or GC)."""
+        return None
+
+    @property
+    def is_zero(self) -> bool:
+        """True: readers materialise this block as zeros, no fetch."""
+        return True
+
+
+#: Either descriptor flavour; discriminate with ``descriptor.is_zero``.
+AnyBlockDescriptor = Union[BlockDescriptor, ZeroBlockDescriptor]

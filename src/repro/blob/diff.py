@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.blob.segment_tree import InnerNode, LeafNode, NodeKey, TreeNode
+from repro.blob.segment_tree import InnerNode, LeafNode, NodeKey, RedirectLeaf, TreeNode
 from repro.blob.store import LocalBlobStore
 from repro.errors import BlobError
 
@@ -71,9 +71,16 @@ def diff_snapshots(
     resolve = resolver if resolver is not None else (lambda k: k)
     changed: set[int] = set()
 
+    def fetch_leafward(key: NodeKey) -> TreeNode:
+        """Fetch, following tombstone redirects to the leaf they defer to."""
+        node = fetch(resolve(key))
+        while isinstance(node, RedirectLeaf):
+            node = fetch(resolve(node.target_key))
+        return node
+
     def mark_all(key: NodeKey) -> None:
         node = fetch(resolve(key))
-        if isinstance(node, LeafNode):
+        if isinstance(node, (LeafNode, RedirectLeaf)):
             changed.add(node.key.offset)
         else:
             for child in node.children():
@@ -90,6 +97,20 @@ def diff_snapshots(
             return
         if resolve(a) == resolve(b):
             return  # identical shared subtree: nothing changed inside
+        if a.span == 1 and b.span == 1:
+            # Follow tombstone redirects before comparing: a redirect
+            # into the very leaf on the other side means "unchanged"
+            # even though the keys differ.
+            node_a = fetch_leafward(a)
+            node_b = fetch_leafward(b)
+            # Size disambiguates zero leaves, whose block_id is always
+            # None; for stored blocks same id implies same size.
+            if (node_a.block.block_id, node_a.block.size) != (
+                node_b.block.block_id,
+                node_b.block.size,
+            ):
+                changed.add(a.offset)
+            return
         if a.span != b.span:
             # Roots of different-size trees: peel the bigger tree's
             # right siblings (they exist on one side only) and keep
@@ -102,12 +123,10 @@ def diff_snapshots(
                 mark_all(node.right_key)
             walk(node.left_key, small) if a_is_big else walk(small, node.left_key)
             return
+        # Equal spans >= 2: only inner nodes live at these positions
+        # (span-1 pairs returned above).
         node_a = fetch(resolve(a))
         node_b = fetch(resolve(b))
-        if isinstance(node_a, LeafNode) and isinstance(node_b, LeafNode):
-            if node_a.block.block_id != node_b.block.block_id:
-                changed.add(node_a.key.offset)
-            return
         if not (isinstance(node_a, InnerNode) and isinstance(node_b, InnerNode)):
             raise BlobError("mismatched tree shapes at equal spans")  # pragma: no cover
         walk(node_a.left_key, node_b.left_key)

@@ -13,7 +13,20 @@ so collection is a mark-and-sweep over the metadata trees:
 
 Collection requires a quiescent BLOB (no in-flight writes): an
 in-flight writer may be about to reference nodes the sweep would
-otherwise consider dead.
+otherwise consider dead.  Tombstoned (aborted) versions are *not* in
+flight — they committed as no-ops, so a dead writer never blocks
+collection through the quiescence gate — and they participate in the
+mark phase like any retained snapshot: their filler trees (redirects
+into prior versions, zero leaves) keep shared prior nodes alive; zero
+leaves mark no block.
+
+Only the *sweep* tolerates offline metadata buckets.  The mark phase
+must read every retained snapshot's tree, and deliberately fails
+(rather than under-marks, which would delete live nodes) when one is
+unreachable — including a tombstone whose filler could not be fully
+published during the outage.  Either retain from a version past the
+unreadable one, or heal the buckets and run
+``LocalBlobStore.republish_tombstone`` first.
 """
 
 from __future__ import annotations
@@ -79,7 +92,7 @@ def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> Gc
                 if node.key in marked_nodes:
                     continue
                 marked_nodes.add(node.key)
-                if isinstance(node, LeafNode):
+                if isinstance(node, LeafNode) and not node.block.is_zero:
                     marked_blocks.add(node.block.block_id)
 
     mark(blob_id, retain_from)
@@ -93,13 +106,22 @@ def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> Gc
                 )
             mark(other_id, max(other.gc_floor, 1))
 
-    # Sweep metadata buckets (every replica holds full keys; sweep each).
+    # Sweep metadata buckets (every replica holds full keys; sweep
+    # each).  Offline buckets are skipped like the data-provider sweep
+    # below: their garbage keeps until the first pass after recovery,
+    # and a bucket dying mid-sweep must not abort the pass after a
+    # partial deletion.
     nodes_deleted = 0
     swept_keys: set[NodeKey] = set()
     for bucket in store.metadata.store.buckets.values():
+        if not bucket.online:
+            continue
         for key in bucket.keys():
             if isinstance(key, NodeKey) and key.blob_id == blob_id and key not in marked_nodes:
-                bucket.delete(key)
+                try:
+                    bucket.delete(key)
+                except ProviderUnavailable:
+                    break  # went down mid-sweep; next pass finishes it
                 if key not in swept_keys:
                     swept_keys.add(key)
                     nodes_deleted += 1

@@ -23,9 +23,19 @@ class MetadataService:
     def __init__(self, store: DhtStore):
         self.store = store
 
-    def put_node(self, node: TreeNode) -> None:
-        """Publish one tree node (immutable; identical re-put allowed)."""
+    def put_node(self, node: TreeNode, force: bool = False) -> None:
+        """Publish one tree node (immutable; identical re-put allowed).
+
+        ``force=True`` overwrites whatever is stored under the key: the
+        one sanctioned exception to immutability, used by the
+        write-abort protocol to supersede the partially-published
+        nodes of a dead write with the tombstone's filler nodes (the
+        two patches occupy exactly the same canonical key set).
+        """
         key = node.key
+        if force:
+            self.store.put(key, node)
+            return
         try:
             existing = self.store.get(key)
         except KeyError:

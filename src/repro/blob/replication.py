@@ -58,7 +58,9 @@ def find_under_replicated(
     for node in iter_reachable(
         store.metadata.get_node, root, key_resolver=store.key_resolver()
     ):
-        if isinstance(node, LeafNode):
+        if isinstance(node, LeafNode) and not node.block.is_zero:
+            # Zero leaves (tombstone filler) are synthesised by readers
+            # and store nothing: there is no replica set to maintain.
             if len(_live_replicas(store, node.block)) < state.replication:
                 lacking.append(node)
     return lacking
@@ -85,7 +87,7 @@ def repair_blob(store: LocalBlobStore, blob_id: str, version: int | None = None)
             store.metadata.get_node, root, key_resolver=store.key_resolver()
         )
     ):
-        if not isinstance(node, LeafNode):
+        if not isinstance(node, LeafNode) or node.block.is_zero:
             continue
         checked += 1
         descriptor = node.block

@@ -32,17 +32,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
 
-from repro.blob.block import BlockDescriptor
+from repro.blob.block import AnyBlockDescriptor, BlockDescriptor, ZeroBlockDescriptor
 from repro.errors import BlobError, InvalidRange
+from repro.util.chunks import block_count
 
 __all__ = [
     "NodeKey",
     "LeafNode",
+    "RedirectLeaf",
     "InnerNode",
     "TreeNode",
     "root_span",
     "latest_intersecting",
     "build_patch",
+    "build_tombstone_patch",
     "DescentPlan",
     "collect_blocks",
     "iter_reachable",
@@ -85,10 +88,15 @@ class NodeKey:
 
 @dataclass(frozen=True)
 class LeafNode:
-    """A leaf: covers one block and points at its descriptor."""
+    """A leaf: covers one block and points at its descriptor.
+
+    The descriptor is either a stored block (:class:`BlockDescriptor`)
+    or a reader-synthesised zero block (:class:`ZeroBlockDescriptor`,
+    published by tombstoned versions — see :func:`build_tombstone_patch`).
+    """
 
     key: NodeKey
-    block: BlockDescriptor
+    block: AnyBlockDescriptor
 
     def __post_init__(self) -> None:
         if self.key.span != 1:
@@ -97,6 +105,38 @@ class LeafNode:
             raise ValueError(
                 f"leaf at offset {self.key.offset} carries block index {self.block.index}"
             )
+
+
+@dataclass(frozen=True)
+class RedirectLeaf:
+    """A leaf-position node that defers to an older version's leaf.
+
+    Tombstoned versions use redirects for blocks their dead write would
+    have *overwritten*: the tombstone's content there is the woven
+    prior state, and the prior leaf's descriptor is unknown to the
+    aborting writer (it may even still be in flight), so the filler
+    node names only the target *version* — exactly like an
+    :class:`InnerNode` child reference, but at span 1.  Descents follow
+    the redirect; chains (a redirect into an older tombstone) terminate
+    because target versions strictly decrease.
+    """
+
+    key: NodeKey
+    target_version: int
+
+    def __post_init__(self) -> None:
+        if self.key.span != 1:
+            raise ValueError(f"redirect span must be 1, got {self.key.span}")
+        if not (1 <= self.target_version < self.key.version):
+            raise ValueError(
+                f"redirect target must be an older version >= 1, got "
+                f"{self.target_version} from {self.key.version}"
+            )
+
+    @property
+    def target_key(self) -> NodeKey:
+        """Key of the leaf this redirect resolves to."""
+        return NodeKey(self.key.blob_id, self.target_version, self.key.offset, 1)
 
 
 @dataclass(frozen=True)
@@ -144,7 +184,7 @@ class InnerNode:
         return [k for k in (self.left_key, self.right_key) if k is not None]
 
 
-TreeNode = Union[LeafNode, InnerNode]
+TreeNode = Union[LeafNode, RedirectLeaf, InnerNode]
 
 
 def root_span(size_blocks: int) -> int:
@@ -211,6 +251,93 @@ def build_patch(
         New nodes, leaves before parents (children-first order), root
         last — safe to store in order.
     """
+    return _build_nodes(
+        blob_id,
+        version,
+        write_start,
+        write_end,
+        size_after_blocks,
+        history,
+        lambda key: LeafNode(key=key, block=leaf_descriptor(key.offset)),
+    )
+
+
+def build_tombstone_patch(
+    blob_id: str,
+    version: int,
+    write_start: int,
+    write_end: int,
+    size_after: int,
+    prior_size: int,
+    block_size: int,
+    history: Sequence[HistoryRecord],
+) -> list[TreeNode]:
+    """The filler patch a tombstoned (aborted) version must publish.
+
+    Later writers already wove references to *version*'s canonical
+    nodes from the version-manager hints, so the tombstone publishes a
+    node at **every** canonical position its real patch would have
+    occupied — same keys, different content:
+
+    * blocks the dead write would have *overwritten* (fully covered by
+      the prior woven state) become :class:`RedirectLeaf` nodes
+      pointing at the latest prior version intersecting them;
+    * blocks it would have *created* (beyond the prior size, or a
+      prior trailing partial block the dead write extended) become
+      zero-filled leaves readers synthesise locally;
+    * ranges outside the dead write are ordinary version references,
+      exactly as in :func:`build_patch`.
+
+    Everything is computed from version-manager hints alone — no DHT
+    read is needed, which matters because the abort is usually being
+    taken *because* metadata providers are failing.
+
+    Args:
+        size_after: BLOB size in bytes had the write succeeded (the
+            tombstone keeps it: later appends fixed their offsets on it).
+        prior_size: BLOB size in bytes of the preceding snapshot.
+        history: write-history records for versions ``< version``.
+    """
+    size_after_blocks = block_count(size_after, block_size)
+
+    def filler_leaf(key: NodeKey) -> TreeNode:
+        index = key.offset
+        need = min(block_size, size_after - index * block_size)
+        prior_len = min(block_size, max(0, prior_size - index * block_size))
+        target = latest_intersecting(history, index, index + 1, at_most=version - 1)
+        if target is not None and prior_len == need:
+            return RedirectLeaf(key=key, target_version=target)
+        # No prior coverage — or partial coverage the dead write would
+        # have extended, which block-granularity sharing cannot express:
+        # the tombstone defines the whole block as zeros (DESIGN.md §7).
+        return LeafNode(
+            key=key,
+            block=ZeroBlockDescriptor(
+                blob_id=blob_id, version=version, index=index, size=need
+            ),
+        )
+
+    return _build_nodes(
+        blob_id,
+        version,
+        write_start,
+        write_end,
+        size_after_blocks,
+        history,
+        filler_leaf,
+    )
+
+
+def _build_nodes(
+    blob_id: str,
+    version: int,
+    write_start: int,
+    write_end: int,
+    size_after_blocks: int,
+    history: Sequence[HistoryRecord],
+    leaf_node: Callable[[NodeKey], TreeNode],
+) -> list[TreeNode]:
+    """Shared recursion behind :func:`build_patch` and the tombstone patch."""
     if write_end <= write_start:
         raise InvalidRange(f"empty write range [{write_start}, {write_end})")
     if write_start < 0:
@@ -227,7 +354,7 @@ def build_patch(
         # Invariant: [offset, offset+node_span) intersects the write range.
         key = NodeKey(blob_id, version, offset, node_span)
         if node_span == 1:
-            nodes.append(LeafNode(key=key, block=leaf_descriptor(offset)))
+            nodes.append(leaf_node(key))
             return
         half = node_span // 2
         child_versions: list[Optional[int]] = []
@@ -319,11 +446,16 @@ class DescentPlan:
         if isinstance(node, LeafNode):
             self._leaves.append(node)
             return
+        if isinstance(node, RedirectLeaf):
+            # Tombstone filler: the block lives under an older version's
+            # leaf — chase it like one more frontier level.
+            self._frontier.append(self._resolve(node.target_key))
+            return
         for child in node.children():
             if child.offset < self.hi and child.end > self.lo:
                 self._frontier.append(self._resolve(child))
 
-    def blocks(self) -> list[BlockDescriptor]:
+    def blocks(self) -> list[AnyBlockDescriptor]:
         """Collected block descriptors in ascending block order."""
         if not self.done:
             raise BlobError("descent not finished")
@@ -343,7 +475,7 @@ def collect_blocks(
     lo: int,
     hi: int,
     key_resolver: Optional[Callable[[NodeKey], NodeKey]] = None,
-) -> list[BlockDescriptor]:
+) -> list[AnyBlockDescriptor]:
     """Synchronous driver over :class:`DescentPlan` (functional layer)."""
     plan = DescentPlan(root_key, lo, hi, key_resolver=key_resolver)
     while not plan.done:
@@ -365,3 +497,5 @@ def iter_reachable(
         yield node
         if isinstance(node, InnerNode):
             stack.extend(resolve(child) for child in node.children())
+        elif isinstance(node, RedirectLeaf):
+            stack.append(resolve(node.target_key))

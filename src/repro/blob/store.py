@@ -13,6 +13,13 @@ client protocols against them:
   descend the snapshot's segment tree (metadata providers) → fetch the
   touched blocks, trimming the extremal ones → assemble.
 
+Writes are all-or-nothing at every phase: a failure before version
+assignment rolls the stored blocks back, and a failure *after* it
+additionally aborts the assigned version — converting it into a
+tombstone whose filler metadata keeps concurrent writers' woven
+references resolvable (DESIGN.md §7), so a dead writer can never wedge
+the publication watermark or block garbage collection.
+
 This class is the reference implementation the property-based tests
 check against a model, and the engine the BSFS file system runs on.
 Locking is deliberately two-tier, mirroring the paper's architecture:
@@ -43,6 +50,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.blob.block import (
+    AnyBlockDescriptor,
     BlockDescriptor,
     BytesPayload,
     Payload,
@@ -57,11 +65,23 @@ from repro.blob.segment_tree import (
     DescentPlan,
     NodeKey,
     build_patch,
+    build_tombstone_patch,
     collect_blocks,
 )
-from repro.blob.version_manager import SnapshotInfo, VersionManagerCore, WriteTicket
+from repro.blob.version_manager import (
+    SnapshotInfo,
+    TombstoneSpec,
+    VersionManagerCore,
+    WriteTicket,
+)
 from repro.dht.store import DhtStore
-from repro.errors import InvalidRange, ProviderUnavailable
+from repro.errors import (
+    InvalidRange,
+    ProviderError,
+    ProviderUnavailable,
+    PublishHookError,
+    ReplicationError,
+)
 from repro.util.bytesize import MB, parse_size
 from repro.util.chunks import split_range
 
@@ -255,16 +275,33 @@ class LocalBlobStore:
             self._rollback_write(stored, placements, sizes)
             raise
 
-        # ... then weave and publish metadata (concurrent by design).
-        # Known gap: a publish failure here (every replica of a metadata
-        # bucket down) happens *after* the ticket was assigned, and the
-        # version manager has no abort protocol yet — the ticket stays
-        # in flight and the write's blocks are not rolled back.  Needs
-        # a ticket-abort step in VersionManagerCore (see ROADMAP.md).
-        self._publish_metadata(ticket, nonce, sizes, placements)
-
-        with self._lock:
-            self.version_manager.commit(blob_id, ticket.version)
+        # Phase 3 — weave and publish metadata (concurrent by design),
+        # then report completion.  A failure here happens *after* the
+        # ticket was assigned, so a plain rollback is not enough: the
+        # version must be aborted too, or it stays in flight forever —
+        # wedging the watermark and blocking GC (the §VI-B weakness).
+        # The abort converts it into a tombstone (see _abort_ticket).
+        try:
+            self._publish_metadata(ticket, nonce, sizes, placements)
+            with self._lock:
+                self.version_manager.commit(blob_id, ticket.version)
+        except PublishHookError:
+            # The snapshot IS committed and published; a raising
+            # publication hook is reported, never rolled back.
+            raise
+        except BaseException:
+            # Same guard for non-Exception escapes from the hooks
+            # (e.g. a KeyboardInterrupt): once the version is
+            # committed, its blocks belong to a published snapshot and
+            # must never be rolled back.
+            with self._lock:
+                committed = (
+                    ticket.version
+                    in self.version_manager.blob(blob_id).committed
+                )
+            if not committed:
+                self._abort_ticket(ticket, stored, placements, sizes)
+            raise
         return ticket.version
 
     def _store_blocks(
@@ -332,6 +369,103 @@ class LocalBlobStore:
         self.provider_manager.release_placements(
             placements, sizes, skip=frozenset(keep_charged)
         )
+
+    # -- write abort (tombstone protocol, DESIGN.md §7) -----------------------------
+
+    def _abort_ticket(
+        self,
+        ticket: WriteTicket,
+        stored: list[tuple[str, tuple[str, int, int]]],
+        placements: list[tuple[str, ...]],
+        sizes: list[int],
+    ) -> None:
+        """Abort an assigned version after a later protocol step failed.
+
+        Order matters: first the data rollback (no orphaned replicas,
+        no phantom charges), then the tombstone's filler metadata —
+        published *before* the version manager finalises the abort, so
+        by the time the watermark can advance over the tombstone its
+        tree already resolves — and the state-machine abort last.
+
+        Always a tombstone, never a retraction: ``_publish_metadata``
+        may have stored part of the real patch before failing, and a
+        retracted (reused) version number would collide with those
+        immutable nodes.  The filler patch occupies exactly the same
+        canonical keys and force-overwrites them.
+
+        The state-machine abort runs in a ``finally``: even if the
+        cleanup I/O is itself interrupted (a second failure mid-abort),
+        the version must not stay in flight — a wedged watermark is the
+        one outcome this protocol exists to prevent.  Whatever the
+        rollback or filler publish did not finish is recoverable later:
+        orphaned blocks fall to the next GC sweep, missing filler nodes
+        to :meth:`republish_tombstone`.
+        """
+        try:
+            self._rollback_write(stored, placements, sizes)
+            with self._lock:
+                spec = self.version_manager.tombstone_spec(
+                    ticket.blob_id, ticket.version, pending=True
+                )
+            self._publish_tombstone(spec)
+        finally:
+            with self._lock:
+                try:
+                    self.version_manager.abort(
+                        ticket.blob_id, ticket.version, force_tombstone=True
+                    )
+                except PublishHookError:
+                    # The tombstone is fully recorded; a raising
+                    # publication hook must not mask the write's own
+                    # failure (which the caller is about to re-raise).
+                    pass
+
+    def _publish_tombstone(self, spec: TombstoneSpec) -> list[NodeKey]:
+        """Force-publish a tombstone's filler patch, best effort.
+
+        Nodes whose every metadata replica is down are skipped and
+        returned — the abort is being taken *because* metadata
+        providers are failing, so insisting on full publication would
+        re-wedge the very protocol this exists to unwedge.  Skipped
+        nodes leave their key range unreadable (exactly as the outage
+        already made it) until :meth:`republish_tombstone` runs after
+        recovery.
+        """
+        patch = build_tombstone_patch(
+            blob_id=spec.blob_id,
+            version=spec.version,
+            write_start=spec.start_block,
+            write_end=spec.end_block,
+            size_after=spec.size_after,
+            prior_size=spec.prior_size,
+            block_size=spec.block_size,
+            history=spec.history,
+        )
+        unpublished: list[NodeKey] = []
+        for node in patch:
+            try:
+                self.metadata.put_node(node, force=True)
+            except (ProviderError, ReplicationError):
+                unpublished.append(node.key)
+        return unpublished
+
+    def republish_tombstone(self, blob_id: str, version: int) -> list[NodeKey]:
+        """Re-publish a tombstone's filler metadata (idempotent).
+
+        Run after a metadata-provider outage heals: filler nodes the
+        abort could not place (and stale partial nodes of the dead
+        write stranded on buckets that were down during the abort) are
+        force-overwritten from the version manager's durable spec.
+        Returns the keys that still could not be published.
+
+        Branch-aware: a tombstone inherited across a branch point is
+        owned by the ancestor BLOB — readers resolve its keys there —
+        so the filler is (re)published under the owner's id.
+        """
+        with self._lock:
+            owner = self.version_manager.owner_of(blob_id, version)
+            spec = self.version_manager.tombstone_spec(owner, version)
+        return self._publish_tombstone(spec)
 
     def _publish_metadata(
         self,
@@ -436,7 +570,7 @@ class LocalBlobStore:
 
     def _collect_descriptors(
         self, info: SnapshotInfo, offset: int, size: int
-    ) -> list[BlockDescriptor]:
+    ) -> list[AnyBlockDescriptor]:
         lo = offset // info.block_size
         hi = -(-(offset + size) // info.block_size)
         root = NodeKey(info.blob_id, info.version, 0, info.root_span)
@@ -444,7 +578,12 @@ class LocalBlobStore:
             self.metadata.get_node, root, lo, hi, key_resolver=self.key_resolver()
         )
 
-    def _fetch_block(self, descriptor: BlockDescriptor) -> Payload:
+    def _fetch_block(self, descriptor: AnyBlockDescriptor) -> Payload:
+        if descriptor.is_zero:
+            # Tombstone filler (DESIGN.md §7): the range the aborted
+            # write would have created reads as zeros, synthesised
+            # locally — no provider stores such a block.
+            return BytesPayload(bytes(descriptor.size))
         last_error: Optional[Exception] = None
         for provider_name in descriptor.providers:
             provider = self.providers[provider_name]

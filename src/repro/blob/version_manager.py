@@ -14,6 +14,15 @@ guaranteed" (paper §III-B).  Its state machine is deliberately tiny:
   version ``v`` such that every version ``<= v`` is committed, giving
   linearizability: readers only ever see complete snapshot prefixes
   (§III-A.5's two conditions).
+* :meth:`abort` — a failed writer abandons its assigned version.  The
+  highest assigned version is simply retracted (its number is reused);
+  an *interior* version — one a later writer may already have woven
+  references to — is converted into a **tombstone**: it commits as a
+  no-op so the watermark can advance over it, and the returned
+  :class:`TombstoneSpec` tells the caller which filler metadata to
+  publish so those woven references still resolve.  This closes the
+  availability gap the paper concedes in §VI-B (a dead writer blocking
+  publication forever); see DESIGN.md §7.
 
 This class is pure bookkeeping (no I/O, no clocks) so the in-process
 store and the simulated version-manager service share it verbatim.
@@ -31,13 +40,21 @@ from repro.errors import (
     BlobError,
     BlobNotFound,
     InvalidRange,
+    PublishHookError,
     VersionNotFound,
     VersionNotReady,
     WriteConflict,
 )
 from repro.util.chunks import block_count
 
-__all__ = ["WriteRecord", "WriteTicket", "SnapshotInfo", "BlobState", "VersionManagerCore"]
+__all__ = [
+    "WriteRecord",
+    "WriteTicket",
+    "SnapshotInfo",
+    "TombstoneSpec",
+    "BlobState",
+    "VersionManagerCore",
+]
 
 
 @dataclass(frozen=True)
@@ -97,11 +114,34 @@ class SnapshotInfo:
     size: int
     block_size: int
     root_span: int
+    #: True for a tombstoned (aborted) version: it is readable — the
+    #: woven prior state, zero-filled over the range the dead write
+    #: would have created — but wrote nothing itself.
+    tombstone: bool = False
 
     @property
     def size_blocks(self) -> int:
         """Size in blocks (ceiling)."""
         return block_count(self.size, self.block_size)
+
+
+@dataclass(frozen=True)
+class TombstoneSpec:
+    """Everything needed to build a tombstone's filler metadata patch.
+
+    Mirrors the write geometry the dead version was assigned, plus the
+    history hints its filler patch must weave with — the arguments of
+    :func:`repro.blob.segment_tree.build_tombstone_patch`.
+    """
+
+    blob_id: str
+    version: int
+    start_block: int
+    end_block: int
+    size_after: int
+    prior_size: int
+    block_size: int
+    history: tuple[HistoryRecord, ...]
 
 
 @dataclass
@@ -113,6 +153,10 @@ class BlobState:
     replication: int
     records: list[WriteRecord] = field(default_factory=list)
     committed: set[int] = field(default_factory=set)
+    #: Aborted-but-unretractable versions (subset of ``committed``):
+    #: they count as committed no-ops so the watermark can pass them,
+    #: but their write never happened (readers see filler metadata).
+    tombstoned: set[int] = field(default_factory=set)
     published: int = 0
     gc_floor: int = 0  # versions < gc_floor are no longer readable
     #: For branched BLOBs: (ancestor blob id, branch-base version).
@@ -185,6 +229,7 @@ class VersionManagerCore:
             replication=src.replication,
             records=list(src.records[: base + 1]),
             committed=set(range(base + 1)),
+            tombstoned={v for v in src.tombstoned if v <= base},
             published=base,
             parent=(src_id, base),
         )
@@ -332,35 +377,130 @@ class VersionManagerCore:
         if version in state.committed:
             raise WriteConflict(f"version {version} of blob {blob_id!r} committed twice")
         state.committed.add(version)
+        self._advance_watermark(state)
+        return state.published
+
+    def _advance_watermark(self, state: BlobState) -> None:
+        """Advance the watermark; run every publish hook, then report.
+
+        Hooks observe publication consistently: the watermark moves
+        first, and a raising hook never prevents the remaining hooks
+        from running (e.g. one stale cache must not stop the BSFS
+        invalidation of another).  Hook failures are aggregated into a
+        single :class:`PublishHookError` raised after the loop — state
+        is already fully updated when it surfaces.
+        """
         old = state.published
         while state.published + 1 in state.committed:
             state.published += 1
-        if state.published != old:
-            for hook in self._publish_hooks:
-                hook(blob_id, state.published)
-        return state.published
+        if state.published == old:
+            return
+        errors: list[BaseException] = []
+        for hook in self._publish_hooks:
+            try:
+                hook(state.blob_id, state.published)
+            except Exception as exc:
+                errors.append(exc)
+        if errors:
+            raise PublishHookError(state.blob_id, state.published, errors)
 
-    def abort(self, blob_id: str, version: int) -> None:
+    def abort(
+        self, blob_id: str, version: int, force_tombstone: bool = False
+    ) -> Optional[TombstoneSpec]:
         """Abandon an assigned-but-uncommitted version.
 
-        Only the *highest* assigned version may abort, and only while no
-        later version has been assigned: later writers may already have
-        woven references to this version's range per the hint rule, so
-        retracting an interior version would dangle their metadata.  A
-        failed writer holding an interior version wedges the watermark —
-        the availability weakness the paper acknowledges in §VI-B.
+        Two cases, decided by whether a later version was assigned:
+
+        * **retract** — *version* is still the highest assigned: nothing
+          can reference it yet, so its record is popped and the number
+          will be reused.  Returns ``None``.
+        * **tombstone** — a later writer may already have woven
+          references to this version's range per the hint rule, so the
+          record must stand.  The version commits as a no-op (the
+          watermark advances over it — a dead writer can no longer
+          wedge publication, closing §VI-B's availability gap) and the
+          returned :class:`TombstoneSpec` describes the filler
+          metadata the caller must publish so those references resolve.
+
+        ``force_tombstone=True`` takes the tombstone path even for the
+        highest version — required whenever any metadata node of the
+        dead write may already have reached the DHT, because retracting
+        would let the next writer reuse the version number and collide
+        with those immutable nodes.
+
+        Hook failures from the watermark advance surface as
+        :class:`PublishHookError` *after* the tombstone is fully
+        recorded (same contract as :meth:`commit`).
         """
         state = self.blob(blob_id)
-        if version != state.last_assigned:
-            raise WriteConflict(
-                f"cannot abort version {version}: version {state.last_assigned} "
-                f"was assigned after it and may reference it"
-            )
+        if version < 1 or version > state.last_assigned:
+            raise VersionNotFound(f"version {version} of blob {blob_id!r} was never assigned")
         if version in state.committed:
             raise WriteConflict(f"version {version} already committed")
-        state.records.pop()
+        if version == state.last_assigned and not force_tombstone:
+            state.records.pop()
+            return None
+        state.tombstoned.add(version)
+        state.committed.add(version)
+        spec = self._tombstone_spec(state, version)
+        self._advance_watermark(state)
+        return spec
+
+    def tombstone_spec(
+        self, blob_id: str, version: int, pending: bool = False
+    ) -> TombstoneSpec:
+        """Filler-patch spec of a tombstoned version.
+
+        Serves an already-tombstoned version so the filler can be
+        re-published idempotently after the metadata-provider outage
+        that caused the abort heals (see
+        ``LocalBlobStore.republish_tombstone``).  ``pending=True``
+        additionally serves a version still in flight — strictly for
+        the aborting writer itself, which must publish the filler
+        *before* finalising the abort; anyone else holding a pending
+        spec could force-overwrite a healthy writer's metadata.  This
+        is the single constructor of the spec: publish and republish
+        derive the identical patch.
+        """
+        state = self.blob(blob_id)
+        # Same gate as snapshot_info/history_upto: republishing a
+        # collected tombstone would resurrect swept tree nodes.
+        self._check_gc_floor(state, version)
+        if version in state.tombstoned:
+            return self._tombstone_spec(state, version)
+        if version < 1 or version > state.last_assigned:
+            raise VersionNotFound(f"version {version} of blob {blob_id!r} was never assigned")
+        if version in state.committed or not pending:
+            raise VersionNotFound(
+                f"version {version} of blob {blob_id!r} is not a tombstone"
+            )
+        return self._tombstone_spec(state, version)
+
+    def _tombstone_spec(self, state: BlobState, version: int) -> TombstoneSpec:
+        record = state.records[version]
+        return TombstoneSpec(
+            blob_id=state.blob_id,
+            version=version,
+            start_block=record.start_block,
+            end_block=record.end_block,
+            size_after=record.size_after,
+            prior_size=state.records[version - 1].size_after,
+            block_size=state.block_size,
+            history=tuple(
+                r.history_record for r in state.records[1:version] if r.length > 0
+            ),
+        )
 
     # -- read-side queries ---------------------------------------------------------
+
+    @staticmethod
+    def _check_gc_floor(state: BlobState, version: int) -> None:
+        """Reject versions below the GC floor (their trees were swept)."""
+        if version < state.gc_floor:
+            raise VersionNotFound(
+                f"version {version} of blob {state.blob_id!r} was garbage-collected "
+                f"(gc floor is {state.gc_floor})"
+            )
 
     def published_version(self, blob_id: str) -> int:
         """Current publication watermark (highest readable version)."""
@@ -376,10 +516,7 @@ class VersionManagerCore:
         state = self.blob(blob_id)
         if version < 0 or version > state.last_assigned:
             raise VersionNotFound(f"version {version} of blob {blob_id!r} does not exist")
-        if version < state.gc_floor:
-            raise VersionNotFound(
-                f"version {version} of blob {blob_id!r} was garbage-collected"
-            )
+        self._check_gc_floor(state, version)
         if version > state.published:
             raise VersionNotReady(
                 f"version {version} of blob {blob_id!r} is not yet published "
@@ -393,17 +530,28 @@ class VersionManagerCore:
             size=record.size_after,
             block_size=state.block_size,
             root_span=root_span(size_blocks),
+            tombstone=version in state.tombstoned,
         )
 
     def history_upto(self, blob_id: str, version: int) -> tuple[HistoryRecord, ...]:
-        """Write-history records for versions 1..*version* (weaving/GC)."""
+        """Write-history records for versions 1..*version* (weaving/GC).
+
+        Enforces the GC floor like :meth:`snapshot_info`: hints for a
+        collected version would let a writer weave references into tree
+        nodes the sweep already deleted.
+        """
         state = self.blob(blob_id)
         if version > state.last_assigned:
             raise VersionNotFound(f"version {version} of blob {blob_id!r} does not exist")
+        self._check_gc_floor(state, version)
         return tuple(r.history_record for r in state.records[1 : version + 1] if r.length > 0)
 
     def in_flight(self, blob_id: str) -> list[int]:
-        """Assigned versions not yet committed (must be empty for GC)."""
+        """Assigned versions not yet committed (must be empty for GC).
+
+        Tombstoned versions are *not* in flight: they committed as
+        no-ops, so a dead writer no longer blocks garbage collection.
+        """
         state = self.blob(blob_id)
         return [
             r.version

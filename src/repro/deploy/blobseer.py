@@ -28,7 +28,13 @@ from typing import Generator, Optional, Union
 
 import numpy as np
 
-from repro.blob.block import BlockDescriptor, Payload, SyntheticPayload
+from repro.blob.block import (
+    AnyBlockDescriptor,
+    BlockDescriptor,
+    BytesPayload,
+    Payload,
+    SyntheticPayload,
+)
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.provider_manager import ProviderManagerCore
 from repro.blob.segment_tree import DescentPlan, NodeKey, TreeNode, build_patch
@@ -440,11 +446,15 @@ class SimBlobSeer:
     def _fetch_block(
         self,
         client: SimNode,
-        descriptor: BlockDescriptor,
+        descriptor: AnyBlockDescriptor,
         start: int,
         length: int,
         consume_rate: Optional[float],
     ) -> Generator:
+        if descriptor.is_zero:
+            # Tombstone filler (DESIGN.md §7): synthesised by the
+            # client, no provider RPC and no simulated transfer cost.
+            return BytesPayload(bytes(length))
         last_error: Optional[Exception] = None
         for provider in descriptor.providers:
             server = self.dp_servers[provider]

@@ -139,3 +139,46 @@ class TestDiffAgainstBruteForce:
             for rng in changed_ranges(store, blob, va, vb):
                 got.update(range(rng.start, rng.end))
             assert got == expected
+
+
+class TestTombstoneDiff:
+    """Diffs over tombstoned versions follow redirects (DESIGN.md §7)."""
+
+    def _abort_version(self, store, version):
+        real = store.metadata.put_node
+
+        def failing(node, force=False):
+            if not force and node.key.version == version:
+                from repro.errors import ProviderUnavailable
+
+                raise ProviderUnavailable("bucket down")
+            return real(node, force=force)
+
+        store.metadata.put_node = failing
+        return lambda: setattr(store.metadata, "put_node", real)
+
+    def test_aborted_overwrite_diffs_empty_against_prior(self, store):
+        import pytest as _pytest
+        from repro.errors import ProviderUnavailable
+
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))  # v1
+        undo = self._abort_version(store, 2)
+        with _pytest.raises(ProviderUnavailable):
+            store.write(blob, BS, b"x" * (2 * BS))  # v2 dies, tombstones
+        undo()
+        # The tombstone's content IS v1's: redirects resolve to the
+        # same blocks, so nothing changed.
+        assert changed_ranges(store, blob, 1, 2) == []
+
+    def test_aborted_append_diffs_only_the_zero_gap(self, store):
+        import pytest as _pytest
+        from repro.errors import ProviderUnavailable
+
+        blob = store.create()
+        store.write(blob, 0, b"a" * (2 * BS))  # v1
+        undo = self._abort_version(store, 2)
+        with _pytest.raises(ProviderUnavailable):
+            store.append(blob, b"x" * (2 * BS))  # v2 dies, zero-fills [2, 4)
+        undo()
+        assert changed_ranges(store, blob, 1, 2) == [BlockRange(2, 4)]

@@ -124,3 +124,82 @@ class TestGuards:
         collect_garbage(store, blob, retain_from=2)
         store.write(blob, 2 * BS, b"c" * BS)
         assert store.read(blob) == b"b" * BS + b"a" * BS + b"c" * BS + b"a" * BS
+
+    def test_writes_and_appends_weave_over_deep_collected_history(self, store):
+        """Regression for the ``history_upto`` GC-floor gap: after a
+        pass collects most of a long history, new writers' hints still
+        resolve — shared subtrees of retained snapshots keep every
+        referenced node alive — and reads stay byte-for-byte."""
+        blob = store.create()
+        expect = bytearray()
+        for v in range(1, 7):  # six appends, then two interior rewrites
+            store.append(blob, bytes([v]) * BS)
+            expect += bytes([v]) * BS
+        store.write(blob, BS, b"X" * BS)
+        expect[BS : 2 * BS] = b"X" * BS
+        collect_garbage(store, blob, retain_from=7)
+        store.write(blob, 3 * BS, b"Y" * BS)
+        expect[3 * BS : 4 * BS] = b"Y" * BS
+        store.append(blob, b"Z" * BS)
+        expect += b"Z" * BS
+        assert store.read(blob) == bytes(expect)
+        # The hint endpoint itself enforces the floor (weaving against
+        # a collected version would reference swept nodes).
+        with pytest.raises(VersionNotFound):
+            store.version_manager.history_upto(blob, 6)
+
+
+class TestOfflineMetadataBuckets:
+    def test_gc_skips_offline_metadata_bucket(self):
+        """An offline bucket must not abort the pass after a partial
+        deletion — its garbage keeps until a pass after recovery, like
+        the data-provider sweep."""
+        store = LocalBlobStore(
+            data_providers=4,
+            metadata_providers=4,
+            block_size=BS,
+            metadata_replication=2,
+        )
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))
+        store.write(blob, 0, b"b" * (4 * BS))  # v1 becomes garbage
+        store.metadata.store.fail_bucket("mdp-001")
+
+        report = collect_garbage(store, blob, retain_from=2)  # must not raise
+        assert report.nodes_deleted > 0
+        assert store.read(blob, version=2) == b"b" * (4 * BS)
+
+        # The recovered bucket's stale copies go on the next pass.
+        store.metadata.store.recover_bucket("mdp-001")
+        collect_garbage(store, blob, retain_from=2)
+        assert not [
+            key
+            for key in store.metadata.store.buckets["mdp-001"].keys()
+            if getattr(key, "version", None) == 1
+        ]
+        assert store.read(blob, version=2) == b"b" * (4 * BS)
+
+    def test_gc_survives_metadata_bucket_dying_mid_sweep(self):
+        store = LocalBlobStore(
+            data_providers=4,
+            metadata_providers=2,
+            block_size=BS,
+            metadata_replication=2,
+        )
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))
+        store.write(blob, 0, b"b" * (4 * BS))
+
+        victim = store.metadata.store.buckets["mdp-000"]
+        original_delete = victim.delete
+
+        def die_on_delete(key):
+            victim.online = False  # goes down just as the sweep reaches it
+            return original_delete(key)
+
+        victim.delete = die_on_delete
+        report = collect_garbage(store, blob, retain_from=2)  # completes
+        victim.delete = original_delete
+        victim.online = True
+        assert report.nodes_deleted > 0
+        assert store.read(blob, version=2) == b"b" * (4 * BS)

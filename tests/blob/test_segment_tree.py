@@ -261,3 +261,128 @@ class TestDescent:
             for key in frontier:
                 plan.feed(key, md.get(key))
         assert level_sizes == [1, 2, 4]
+
+
+class TestTombstonePatch:
+    """Filler patches for aborted versions (DESIGN.md §7)."""
+
+    BS = 16
+
+    def build(self, version, start, end, size_after, prior_size, history):
+        from repro.blob import build_tombstone_patch
+
+        return build_tombstone_patch(
+            blob_id="b",
+            version=version,
+            write_start=start,
+            write_end=end,
+            size_after=size_after,
+            prior_size=prior_size,
+            block_size=self.BS,
+            history=history,
+        )
+
+    def test_created_range_becomes_zero_leaves(self):
+        # v1 died appending 4 blocks into an empty BLOB.
+        nodes = self.build(1, 0, 4, 4 * self.BS, 0, ())
+        leaves = [n for n in nodes if isinstance(n, LeafNode)]
+        assert len(leaves) == 4
+        for leaf in leaves:
+            assert leaf.block.is_zero and leaf.block.size == self.BS
+            assert leaf.block.block_id is None and leaf.block.providers == ()
+
+    def test_overwritten_range_becomes_redirects(self):
+        from repro.blob import RedirectLeaf
+
+        # v2 died rewriting blocks [1, 3) of a 4-block BLOB written by v1.
+        nodes = self.build(2, 1, 3, 4 * self.BS, 4 * self.BS, ((1, 0, 4),))
+        redirects = {n.key.offset: n for n in nodes if isinstance(n, RedirectLeaf)}
+        assert sorted(redirects) == [1, 2]
+        assert all(r.target_version == 1 for r in redirects.values())
+        assert redirects[1].target_key == NodeKey("b", 1, 1, 1)
+        # Ranges outside the dead write are woven references, as usual.
+        root = next(n for n in nodes if n.key.span == 4)
+        assert isinstance(root, InnerNode)
+
+    def test_extended_partial_block_zero_fills_whole_block(self):
+        # v1 left a 4-byte trailing partial in block 1 (size 20); the
+        # dead v2 extended that block.  Block-granularity sharing cannot
+        # express "old 4 bytes + zeros", so the tombstone defines the
+        # whole block as zeros.
+        nodes = self.build(2, 1, 2, 2 * self.BS, 20, ((1, 0, 2),))
+        leaf = next(n for n in nodes if n.key == NodeKey("b", 2, 1, 1))
+        assert isinstance(leaf, LeafNode) and leaf.block.is_zero
+        assert leaf.block.size == self.BS
+
+    def test_exact_partial_rewrite_redirects(self):
+        from repro.blob import RedirectLeaf
+
+        # Dead v2 rewrote the trailing partial exactly (sizes match):
+        # the prior leaf serves the tombstone's content byte-for-byte.
+        nodes = self.build(2, 1, 2, 20, 20, ((1, 0, 2),))
+        leaf = next(n for n in nodes if n.key == NodeKey("b", 2, 1, 1))
+        assert isinstance(leaf, RedirectLeaf) and leaf.target_version == 1
+
+    def test_filler_occupies_exactly_the_real_patch_keys(self):
+        """Later writers reference the dead version's canonical nodes;
+        the filler must shadow the real patch key-for-key."""
+        history = ((1, 0, 4),)
+        real = build_patch(
+            blob_id="b",
+            version=2,
+            write_start=2,
+            write_end=6,
+            size_after_blocks=6,
+            history=history,
+            leaf_descriptor=lambda i: desc(i, version=2, nonce=9),
+        )
+        filler = self.build(2, 2, 6, 6 * self.BS, 4 * self.BS, history)
+        assert {n.key for n in filler} == {n.key for n in real}
+
+    def test_redirect_validation(self):
+        from repro.blob import RedirectLeaf
+
+        with pytest.raises(ValueError):
+            RedirectLeaf(key=NodeKey("b", 2, 0, 2), target_version=1)  # span != 1
+        with pytest.raises(ValueError):
+            RedirectLeaf(key=NodeKey("b", 2, 0, 1), target_version=2)  # not older
+        with pytest.raises(ValueError):
+            RedirectLeaf(key=NodeKey("b", 2, 0, 1), target_version=0)
+
+    def test_descent_follows_redirect_chains(self):
+        """A redirect into an older tombstone's redirect terminates at
+        the oldest real leaf."""
+        from repro.blob import RedirectLeaf, ZeroBlockDescriptor
+
+        store = {}
+
+        def put(node):
+            store[node.key] = node
+
+        put(LeafNode(key=NodeKey("b", 1, 0, 1), block=desc(0)))
+        put(RedirectLeaf(key=NodeKey("b", 2, 0, 1), target_version=1))
+        put(RedirectLeaf(key=NodeKey("b", 3, 0, 1), target_version=2))
+        blocks = collect_blocks(lambda k: store[k], NodeKey("b", 3, 0, 1), 0, 1)
+        assert blocks == [desc(0)]
+        # Zero leaves terminate a chain too.
+        put(
+            LeafNode(
+                key=NodeKey("b", 4, 1, 1),
+                block=ZeroBlockDescriptor(blob_id="b", version=4, index=1, size=8),
+            )
+        )
+        put(RedirectLeaf(key=NodeKey("b", 5, 1, 1), target_version=4))
+        [zero] = collect_blocks(lambda k: store[k], NodeKey("b", 5, 1, 1), 1, 2)
+        assert zero.is_zero and zero.size == 8
+
+    def test_zero_descriptor_validation(self):
+        from repro.blob import ZeroBlockDescriptor
+
+        with pytest.raises(ValueError):
+            ZeroBlockDescriptor(blob_id="b", version=0, index=0, size=8)
+        with pytest.raises(ValueError):
+            ZeroBlockDescriptor(blob_id="b", version=1, index=-1, size=8)
+        with pytest.raises(ValueError):
+            ZeroBlockDescriptor(blob_id="b", version=1, index=0, size=0)
+        with pytest.raises(ValueError):
+            ZeroBlockDescriptor(blob_id="b", version=1, index=0, size=8, providers=("p",))

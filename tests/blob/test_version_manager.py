@@ -186,24 +186,179 @@ class TestCommitAndPublication:
 
 
 class TestAbort:
-    def test_abort_last_uncommitted(self, vm):
+    def test_abort_last_uncommitted_retracts(self, vm):
         vm.assign_append("b", BS)
-        vm.abort("b", 1)
+        assert vm.abort("b", 1) is None  # retraction, no filler needed
         assert vm.blob("b").last_assigned == 0
         t = vm.assign_append("b", BS)
         assert t.version == 1  # number reused; nothing referenced it
 
-    def test_abort_interior_rejected(self, vm):
-        vm.assign_append("b", BS)
-        vm.assign_append("b", BS)
-        with pytest.raises(WriteConflict):
-            vm.abort("b", 1)
+    def test_abort_interior_tombstones(self, vm):
+        """§VI-B closure: a dead interior writer no longer wedges the
+        watermark — its version commits as a no-op tombstone."""
+        vm.assign_append("b", BS)  # v1: the dead writer
+        vm.assign_append("b", BS)  # v2: already wove references to v1
+        spec = vm.abort("b", 1)
+        assert spec is not None
+        assert (spec.version, spec.start_block, spec.end_block) == (1, 0, 1)
+        assert spec.prior_size == 0 and spec.size_after == BS
+        assert spec.history == ()
+        # Tombstone committed as no-op: published, not in flight.
+        assert vm.published_version("b") == 1
+        assert vm.in_flight("b") == [2]
+        assert vm.commit("b", 2) == 2  # the survivor publishes normally
 
     def test_abort_committed_rejected(self, vm):
         vm.assign_append("b", BS)
         vm.commit("b", 1)
         with pytest.raises(WriteConflict):
             vm.abort("b", 1)
+
+    def test_abort_unassigned_rejected(self, vm):
+        with pytest.raises(VersionNotFound):
+            vm.abort("b", 3)
+        with pytest.raises(VersionNotFound):
+            vm.abort("b", 0)
+
+    def test_double_abort_rejected(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.abort("b", 1)
+        with pytest.raises(WriteConflict):
+            vm.abort("b", 1)  # already committed (as a tombstone)
+
+    def test_commit_of_tombstone_rejected(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.abort("b", 1)
+        with pytest.raises(WriteConflict):
+            vm.commit("b", 1)
+
+    def test_force_tombstone_on_last_version(self, vm):
+        """A writer whose metadata partially reached the DHT must not
+        let its version number be reused — force the tombstone."""
+        vm.assign_append("b", BS)
+        spec = vm.abort("b", 1, force_tombstone=True)
+        assert spec is not None and spec.version == 1
+        assert vm.published_version("b") == 1
+        t = vm.assign_append("b", BS)
+        assert t.version == 2  # number NOT reused
+        assert t.offset == BS  # the tombstone's (zero-filled) size stands
+
+    def test_tombstone_keeps_append_offsets_valid(self, vm):
+        """Later appends fixed their offsets on the dead write's size;
+        the tombstone must keep that size (zero-filled), not shrink."""
+        vm.assign_append("b", 4 * BS)  # v1: will die
+        t2 = vm.assign_append("b", BS)  # v2: offset fixed at 4*BS
+        assert t2.offset == 4 * BS
+        vm.abort("b", 1)
+        assert vm.snapshot_info("b", 1).size == 4 * BS
+        vm.commit("b", 2)
+        assert vm.snapshot_info("b", 2).size == 5 * BS
+
+    def test_snapshot_info_flags_tombstones(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.abort("b", 1)
+        vm.commit("b", 2)
+        assert vm.snapshot_info("b", 1).tombstone is True
+        assert vm.snapshot_info("b", 2).tombstone is False
+        assert vm.latest("b").tombstone is False
+
+    def test_tombstone_stays_in_history_hints(self, vm):
+        """Writers assigned after the abort must still weave references
+        to the tombstone — its filler nodes are what resolves them."""
+        vm.assign_append("b", BS)  # v1
+        vm.assign_append("b", BS)  # v2: dies
+        vm.assign_append("b", BS)  # v3: references v2 per the hint rule
+        vm.abort("b", 2)
+        t4 = vm.assign_append("b", BS)
+        assert t4.history == ((1, 0, 1), (2, 1, 2), (3, 2, 3))
+
+    def test_watermark_jumps_over_tombstone_batch(self, vm):
+        vm.assign_append("b", BS)  # v1
+        vm.assign_append("b", BS)  # v2
+        vm.assign_append("b", BS)  # v3
+        vm.commit("b", 3)
+        vm.commit("b", 1)
+        assert vm.published_version("b") == 1
+        vm.abort("b", 2)  # the straggler was dead: watermark jumps to 3
+        assert vm.published_version("b") == 3
+
+    def test_tombstone_spec_query(self, vm):
+        vm.assign_append("b", 2 * BS)
+        vm.assign_append("b", BS)
+        spec = vm.abort("b", 1)
+        assert vm.tombstone_spec("b", 1) == spec
+        # Only the aborting writer itself (pending=True) may take the
+        # spec of a version still in flight — it publishes filler
+        # BEFORE finalising; anyone else would be clobbering a healthy
+        # writer's metadata.
+        with pytest.raises(VersionNotFound):
+            vm.tombstone_spec("b", 2)
+        pending = vm.tombstone_spec("b", 2, pending=True)
+        assert pending.version == 2 and pending.prior_size == 2 * BS
+        vm.commit("b", 2)
+        with pytest.raises(VersionNotFound):
+            vm.tombstone_spec("b", 2, pending=True)  # committed normally
+        with pytest.raises(VersionNotFound):
+            vm.tombstone_spec("b", 9)  # never assigned
+
+    def test_tombstone_spec_respects_gc_floor(self, vm):
+        """Republishing a collected tombstone would resurrect tree
+        nodes the GC sweep already deleted."""
+        vm.assign_append("b", BS)  # v1: dies
+        vm.assign_append("b", BS)  # v2
+        vm.abort("b", 1)
+        vm.commit("b", 2)
+        vm.set_gc_floor("b", 2)
+        with pytest.raises(VersionNotFound):
+            vm.tombstone_spec("b", 1)
+
+    def test_gc_not_blocked_by_tombstones(self, vm):
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.abort("b", 1)
+        assert vm.in_flight("b") == [2]
+        vm.commit("b", 2)
+        assert vm.in_flight("b") == []  # GC's quiescence check passes
+
+
+class TestPublishHooks:
+    def test_all_hooks_run_despite_failures(self, vm):
+        """A raising hook must not starve later hooks (satellite:
+        publication must be observed consistently)."""
+        from repro.errors import PublishHookError
+
+        seen = []
+
+        def bad_hook(blob, v):
+            seen.append(("bad", v))
+            raise RuntimeError("stale cache")
+
+        vm.on_publish(bad_hook)
+        vm.on_publish(lambda blob, v: seen.append(("good", v)))
+        vm.assign_append("b", BS)
+        with pytest.raises(PublishHookError) as excinfo:
+            vm.commit("b", 1)
+        assert seen == [("bad", 1), ("good", 1)]
+        assert len(excinfo.value.errors) == 1
+        assert excinfo.value.watermark == 1
+        # The commit itself stood: the snapshot is published.
+        assert vm.published_version("b") == 1
+        assert vm.snapshot_info("b", 1).size == BS
+
+    def test_hook_errors_deferred_on_abort_too(self, vm):
+        from repro.errors import PublishHookError
+
+        vm.on_publish(lambda blob, v: (_ for _ in ()).throw(RuntimeError("boom")))
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        with pytest.raises(PublishHookError):
+            vm.abort("b", 1)
+        # The tombstone was fully recorded before the error surfaced.
+        assert vm.published_version("b") == 1
+        assert vm.blob("b").tombstoned == {1}
 
 
 class TestQueries:
@@ -228,6 +383,21 @@ class TestQueries:
         assert vm.history_upto("b", 1) == ((1, 0, 1),)
         with pytest.raises(VersionNotFound):
             vm.history_upto("b", 9)
+
+    def test_history_upto_respects_gc_floor(self, vm):
+        """Hints for a collected version would weave references into
+        tree nodes the sweep already deleted."""
+        vm.assign_append("b", BS)
+        vm.assign_append("b", BS)
+        vm.commit("b", 1)
+        vm.commit("b", 2)
+        vm.set_gc_floor("b", 2)
+        with pytest.raises(VersionNotFound):
+            vm.history_upto("b", 1)
+        # At or above the floor the full hint list (including collected
+        # versions' records) is still served: shared subtrees of marked
+        # snapshots survive the sweep, so those references resolve.
+        assert vm.history_upto("b", 2) == ((1, 0, 1), (2, 1, 2))
 
     def test_gc_floor(self, vm):
         vm.assign_append("b", BS)

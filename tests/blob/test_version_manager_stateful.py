@@ -97,8 +97,24 @@ class VersionManagerMachine(RuleBasedStateMachine):
         pending = self.uncommitted()
         last = self.last_version
         if pending and pending[-1] == last and last == max(self.model_records):
-            self.vm.abort("b", last)
+            assert self.vm.abort("b", last) is None  # retraction
             del self.model_records[last]
+
+    @rule(pick=st.randoms(use_true_random=False))
+    def abort_random_uncommitted(self, pick):
+        """Any uncommitted version may abort: the last retracts, an
+        interior one tombstones (commits as a no-op in the model)."""
+        pending = self.uncommitted()
+        if not pending:
+            return
+        version = pick.choice(pending)
+        spec = self.vm.abort("b", version)
+        if spec is None:
+            del self.model_records[version]
+        else:
+            assert version < self.last_version  # only interiors tombstone
+            assert spec.size_after == self.model_records[version][2]
+            self.model_committed.add(version)  # no-op commit in the model
 
     # -- invariants --------------------------------------------------------------
 

@@ -1,17 +1,32 @@
-"""Failed replicated writes must leave no trace (paper §III-D).
+"""Failed writes must leave no trace (paper §III-D + DESIGN.md §7).
 
 "If, for some reason, writing of a block fails, then the whole write
 fails."  The seed implementation honoured the *failure* half but not
 the cleanup half: replicas already stored by the doomed write stranded
 forever on their providers, inflating ``block_count``/``stored_bytes``
 and permanently skewing least-loaded placement.  These are the
-regression tests for the rollback.
+regression tests for the rollback — and, below, for the write-abort
+(tombstone) protocol that extends all-or-nothing past version
+assignment: a writer dying during metadata publication must neither
+wedge the publication watermark nor strand blocks/charges.
 """
 
 import pytest
 
-from repro.blob import LocalBlobStore, collect_garbage
-from repro.errors import InvalidRange, ProviderUnavailable
+from repro.blob import (
+    LocalBlobStore,
+    NodeKey,
+    build_tombstone_patch,
+    collect_garbage,
+    find_under_replicated,
+)
+from repro.errors import (
+    InvalidRange,
+    ProviderUnavailable,
+    PublishHookError,
+    ReplicationError,
+    VersionNotFound,
+)
 
 BS = 16
 
@@ -277,4 +292,380 @@ class TestFailedWriteRollback:
         assert store.read(blob) == b"y" * BS
         counts = store.provider_block_counts()
         assert counts == {"provider-000": 1, "provider-001": 1}
+        store.close()
+
+
+def fail_publish_for_version(store, version):
+    """Make every *non-force* metadata put of *version* fail — the
+    signature of all replicas of the owning bucket being down while a
+    writer publishes its patch.  Force puts (the tombstone's filler)
+    still land, as they would on the surviving buckets.  Returns an
+    undo callable."""
+    real = store.metadata.put_node
+
+    def failing_put_node(node, force=False):
+        if not force and node.key.version == version:
+            raise ProviderUnavailable("all replicas of the owning bucket are down")
+        return real(node, force=force)
+
+    store.metadata.put_node = failing_put_node
+    return lambda: setattr(store.metadata, "put_node", real)
+
+
+@pytest.mark.parametrize("io_workers", [0, 4])
+class TestWriteAbortTombstone:
+    """A writer dying after version assignment (§VI-B's admitted
+    weakness) aborts into a tombstone instead of wedging the store."""
+
+    def test_publish_failure_aborts_cleanly(self, io_workers):
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+        store.append(blob, b"a" * (4 * BS))  # v1: healthy baseline
+        pre_providers = snapshot_provider_state(store)
+        pre_allocator = store.provider_manager.block_counts()
+
+        undo = fail_publish_for_version(store, 2)
+        with pytest.raises(ProviderUnavailable):
+            store.append(blob, b"x" * (2 * BS))  # v2: dies mid-publish
+        undo()
+
+        # Blocks rolled back, charges released — like any failed write.
+        assert snapshot_provider_state(store) == pre_providers
+        assert store.provider_manager.block_counts() == pre_allocator
+        # The ticket did NOT stay in flight: it tombstoned and the
+        # watermark advanced over it.
+        assert store.version_manager.in_flight(blob) == []
+        assert store.latest_version(blob) == 2
+        info = store.snapshot(blob, 2)
+        assert info.tombstone and info.size == 6 * BS
+        # The tombstone reads as the prior state, zero-filled over the
+        # range the dead append would have created.
+        assert store.read(blob, version=1) == b"a" * (4 * BS)
+        assert store.read(blob, version=2) == b"a" * (4 * BS) + bytes(2 * BS)
+        store.close()
+
+    def test_write_and_gc_succeed_after_abort(self, io_workers):
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+        store.append(blob, b"a" * (4 * BS))
+        undo = fail_publish_for_version(store, 2)
+        with pytest.raises(ProviderUnavailable):
+            store.append(blob, b"x" * (2 * BS))
+        undo()
+
+        # A subsequent append lands after the tombstone's zero gap: its
+        # offset was fixed by the (kept) tombstone size, §III-D style.
+        v3 = store.append(blob, b"y" * (2 * BS))
+        assert v3 == 3
+        assert store.read(blob) == b"a" * (4 * BS) + bytes(2 * BS) + b"y" * (2 * BS)
+        # GC is not blocked by the dead writer; the tombstone
+        # participates in the mark phase like any snapshot.
+        report = collect_garbage(store, blob, retain_from=1)
+        assert store.read(blob) == b"a" * (4 * BS) + bytes(2 * BS) + b"y" * (2 * BS)
+        report = collect_garbage(store, blob, retain_from=3)
+        assert report.nodes_deleted > 0
+        assert store.read(blob, version=3)[: 4 * BS] == b"a" * (4 * BS)
+        with pytest.raises(VersionNotFound):
+            store.read(blob, version=2)
+        store.close()
+
+    def test_interior_overwrite_abort_serves_prior_content(self, io_workers):
+        """Redirect leaves: an aborted overwrite's tombstone resolves to
+        the woven state without the dead write."""
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+        store.write(blob, 0, b"a" * (4 * BS))  # v1
+        undo = fail_publish_for_version(store, 2)
+        with pytest.raises(ProviderUnavailable):
+            store.write(blob, BS, b"x" * (2 * BS))  # v2 dies rewriting [1, 3)
+        undo()
+
+        assert store.read(blob, version=2) == b"a" * (4 * BS)  # unchanged
+        v3 = store.append(blob, b"y" * BS)
+        assert store.read(blob, version=v3) == b"a" * (4 * BS) + b"y" * BS
+        # GC keeping only the tombstone: its redirects must keep v1's
+        # shared blocks alive.
+        collect_garbage(store, blob, retain_from=2)
+        assert store.read(blob, version=2) == b"a" * (4 * BS)
+        assert store.read(blob, version=3) == b"a" * (4 * BS) + b"y" * BS
+        store.close()
+
+    def test_writer_assigned_before_abort_still_resolves(self, io_workers):
+        """The tentpole scenario: writer B takes its ticket (and weaves
+        hints referencing dead writer A) *before* A aborts.  B's
+        metadata must resolve through A's filler nodes."""
+        if io_workers:
+            pytest.skip("deterministic publish interleaving needs the inline path")
+        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        blob = store.create()
+        store.append(blob, b"a" * (2 * BS))  # v1
+        holder = {}
+        real = store.metadata.put_node
+
+        def failing_put_node(node, force=False):
+            if not force and node.key.version == 2:
+                if "ticket" not in holder:
+                    # B sneaks in between A's assignment and A's abort.
+                    holder["ticket"] = store.version_manager.assign_append(blob, BS)
+                raise ProviderUnavailable("bucket down")
+            return real(node, force=force)
+
+        store.metadata.put_node = failing_put_node
+        with pytest.raises(ProviderUnavailable):
+            store.append(blob, b"x" * (2 * BS))  # A: v2, dies
+        store.metadata.put_node = real
+
+        ticket = holder["ticket"]
+        assert ticket.version == 3
+        assert ticket.offset == 4 * BS  # fixed on A's (now zero-filled) size
+        assert ticket.history == ((1, 0, 2), (2, 2, 4))  # wove A's range
+        # B finishes its write with the pre-abort ticket, exactly as a
+        # concurrent writer would: store blocks, publish, commit.
+        from repro.blob.block import BytesPayload
+
+        with store._lock:
+            nonce = next(store._nonce)
+            placements = store.provider_manager.allocate(1, [BS], replication=1)
+        store._store_blocks(blob, nonce, [BytesPayload(b"z" * BS)], placements, [BS])
+        store._publish_metadata(ticket, nonce, [BS], placements)
+        with store._lock:
+            store.version_manager.commit(blob, ticket.version)
+
+        assert store.latest_version(blob) == 3
+        assert store.read(blob) == b"a" * (2 * BS) + bytes(2 * BS) + b"z" * BS
+        store.close()
+
+    def test_publish_hook_error_does_not_roll_back(self, io_workers):
+        """A raising publication hook is a reporting problem, not a
+        write failure: the snapshot committed and must stand."""
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+
+        def bad_hook(blob_id, watermark):
+            raise RuntimeError("stale cache")
+
+        store.version_manager.on_publish(bad_hook)
+        with pytest.raises(PublishHookError):
+            store.append(blob, b"a" * BS)
+        assert store.latest_version(blob) == 1
+        assert not store.snapshot(blob, 1).tombstone
+        assert store.read(blob) == b"a" * BS
+        assert store.version_manager.in_flight(blob) == []
+        store.close()
+
+    def test_interrupt_in_publish_hook_never_rolls_back_committed_write(
+        self, io_workers
+    ):
+        """A BaseException escaping the hooks after commit (hooks only
+        shield Exception) must not route the published snapshot into
+        the abort path — its blocks belong to readers now."""
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+
+        def interrupting_hook(blob_id, watermark):
+            raise KeyboardInterrupt
+
+        store.version_manager.on_publish(interrupting_hook)
+        with pytest.raises(KeyboardInterrupt):
+            store.append(blob, b"a" * (2 * BS))
+        assert store.latest_version(blob) == 1
+        assert not store.snapshot(blob, 1).tombstone
+        assert store.read(blob) == b"a" * (2 * BS)  # blocks intact
+        store.close()
+
+    def test_republish_refuses_in_flight_versions(self, io_workers):
+        """republish_tombstone against a healthy in-flight write must
+        not force-overwrite its metadata with filler."""
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+        store.append(blob, b"a" * BS)
+        store.version_manager.assign_append(blob, BS)  # v2 in flight
+        with pytest.raises(VersionNotFound):
+            store.republish_tombstone(blob, 2)
+        store.close()
+
+    def test_republish_through_branch_heals_ancestor_keys(self, io_workers):
+        """A tombstone inherited across a branch point is owned by the
+        ancestor: republishing via the branch must heal the ancestor's
+        keys (which is where readers resolve), not mint unreachable
+        nodes under the branch's id."""
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+        )
+        blob = store.create()
+        store.append(blob, b"a" * (2 * BS))  # v1
+        real = store.metadata.put_node
+
+        def failing(node, force=False):
+            if node.key.version == 2:  # real AND filler puts fail
+                raise ProviderUnavailable("bucket down")
+            return real(node, force=force)
+
+        store.metadata.put_node = failing
+        with pytest.raises(ProviderUnavailable):
+            store.append(blob, b"x" * (2 * BS))  # v2 tombstones, no filler
+        store.metadata.put_node = real
+
+        branch = store.branch(blob, version=2)  # branch at the tombstone
+        with pytest.raises(VersionNotFound):
+            store.read(branch, version=2)
+        assert store.republish_tombstone(branch, 2) == []
+        expected = b"a" * (2 * BS) + bytes(2 * BS)
+        assert store.read(branch, version=2) == expected
+        assert store.read(blob, version=2) == expected
+        store.close()
+
+    def test_tombstone_needs_no_replication_repair(self, io_workers):
+        """Zero leaves store nothing: the repair scan must not flag
+        (or crash on) them."""
+        store = LocalBlobStore(
+            data_providers=4,
+            metadata_providers=2,
+            block_size=BS,
+            replication=2,
+            io_workers=io_workers,
+        )
+        blob = store.create()
+        store.append(blob, b"a" * (2 * BS))
+        undo = fail_publish_for_version(store, 2)
+        with pytest.raises(ProviderUnavailable):
+            store.append(blob, b"x" * (2 * BS))
+        undo()
+        assert find_under_replicated(store, blob, version=2) == []
+        store.close()
+
+
+def _patch_keys(blob, version, start, end, size_after, prior_size, history):
+    """Canonical node keys version *version* publishes for this write
+    (the filler patch occupies exactly the real patch's key set)."""
+    nodes = build_tombstone_patch(
+        blob_id=blob,
+        version=version,
+        write_start=start,
+        write_end=end,
+        size_after=size_after,
+        prior_size=prior_size,
+        block_size=BS,
+        history=history,
+    )
+    return {node.key for node in nodes}
+
+
+def make_chaos_store():
+    """A store plus a victim metadata bucket whose permanent death dooms
+    exactly one in-flight write.
+
+    Scenario geometry (all appends): v1 = 4 blocks (healthy), v2 = 2
+    blocks (doomed), v3 = 2 blocks (written after the abort).  The
+    victim bucket must own at least one of v2's metadata keys (so v2's
+    publication fails) but none of the keys v1's readback, v3's
+    publication or v3's readback need — those are v1's and v3's whole
+    patches plus the part of v2's filler that v3's descent resolves
+    through (the subtree under v2's own write range).  With
+    ``metadata_replication=1`` each key has exactly one owner, so "the
+    victim is down" is precisely "every replica of that bucket is down".
+    """
+    h1 = ((1, 0, 4),)
+    h2 = ((1, 0, 4), (2, 4, 6))
+    for n_buckets in (8, 16, 24, 32, 48, 64, 96):
+        store = LocalBlobStore(
+            data_providers=4, metadata_providers=n_buckets, block_size=BS
+        )
+        blob = store.create("chaos")
+        v1_keys = _patch_keys(blob, 1, 0, 4, 4 * BS, 0, ())
+        v2_keys = _patch_keys(blob, 2, 4, 6, 6 * BS, 4 * BS, h1)
+        v3_keys = _patch_keys(blob, 3, 6, 8, 8 * BS, 6 * BS, h2)
+        needed = (
+            v1_keys
+            | v3_keys
+            | {k for k in v2_keys if k.offset >= 4 and k.span <= 2}
+        )
+        droppable = v2_keys - needed
+        owners = store.metadata.store.owners
+        victim = next(
+            (
+                name
+                for name in store.metadata.store.buckets
+                if any(name in owners(k) for k in droppable)
+                and not any(name in owners(k) for k in needed)
+            ),
+            None,
+        )
+        if victim is not None:
+            return store, blob, victim
+        store.close()
+    raise AssertionError("no bucket layout isolates the doomed write's keys")
+
+
+class TestChaosMetadataBucketDown:
+    """Acceptance scenario: every replica of a metadata bucket dies
+    permanently mid-write.  No monkeypatching — a real bucket fails."""
+
+    def test_abort_is_clean_and_store_stays_live(self):
+        store, blob, victim = make_chaos_store()
+        store.append(blob, b"a" * (4 * BS))  # v1
+        pre_providers = snapshot_provider_state(store)
+        pre_allocator = store.provider_manager.block_counts()
+
+        store.metadata.store.fail_bucket(victim)  # permanent
+        # Whether the publish dies on the immutability pre-read or the
+        # put itself, every replica of the owning bucket is down.
+        with pytest.raises((ReplicationError, ProviderUnavailable)):
+            store.append(blob, b"x" * (2 * BS))  # v2: publish hits the victim
+
+        # Tombstone published (where possible), blocks rolled back,
+        # charges released, nothing in flight, watermark advanced.
+        assert snapshot_provider_state(store) == pre_providers
+        assert store.provider_manager.block_counts() == pre_allocator
+        assert store.version_manager.in_flight(blob) == []
+        assert store.latest_version(blob) == 2
+        assert store.snapshot(blob, 2).tombstone
+
+        # Surviving snapshots stay readable byte-for-byte...
+        assert store.read(blob, version=1) == b"a" * (4 * BS)
+        # ... a subsequent write succeeds and resolves through the
+        # filler nodes that did land...
+        assert store.append(blob, b"y" * (2 * BS)) == 3
+        assert store.read(blob) == b"a" * (4 * BS) + bytes(2 * BS) + b"y" * (2 * BS)
+        # ... and GC completes with the bucket still down (offline
+        # metadata buckets are skipped like offline data providers).
+        report = collect_garbage(store, blob, retain_from=3)
+        assert report.nodes_deleted > 0
+        assert store.read(blob) == b"a" * (4 * BS) + bytes(2 * BS) + b"y" * (2 * BS)
+        store.close()
+
+    def test_republish_tombstone_after_bucket_recovery(self):
+        store, blob, victim = make_chaos_store()
+        store.append(blob, b"a" * (4 * BS))
+        store.metadata.store.fail_bucket(victim)
+        with pytest.raises((ReplicationError, ProviderUnavailable)):
+            store.append(blob, b"x" * (2 * BS))
+
+        # Filler nodes owned by the dead bucket could not be placed:
+        # the tombstone is (partially) unreadable, like anything else
+        # the outage owns, and the leftovers are reported.
+        with pytest.raises((VersionNotFound, ProviderUnavailable)):
+            store.read(blob, version=2)
+        assert store.republish_tombstone(blob, 2)  # still down: leftovers
+
+        store.metadata.store.recover_bucket(victim)
+        assert store.republish_tombstone(blob, 2) == []
+        assert store.read(blob, version=2) == b"a" * (4 * BS) + bytes(2 * BS)
+        # With the filler complete, GC can retain the tombstone too.
+        collect_garbage(store, blob, retain_from=2)
+        assert store.read(blob, version=2) == b"a" * (4 * BS) + bytes(2 * BS)
+        with pytest.raises(VersionNotFound):
+            store.read(blob, version=1)
         store.close()
