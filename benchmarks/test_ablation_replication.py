@@ -9,7 +9,6 @@ from conftest import emit
 
 from repro.deploy.deployment import deploy_microbench
 from repro.deploy.platform import DEFAULT_CALIBRATION
-from repro.util.bytesize import MB
 
 NODES = 60
 BLOCKS = 12

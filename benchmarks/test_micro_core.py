@@ -5,7 +5,6 @@ implementation itself: segment-tree weaving and descent, version
 assignment, DHT lookups, placement, and the max-min fair solver.
 """
 
-import numpy as np
 
 from repro.blob import (
     BlockDescriptor,

@@ -31,7 +31,14 @@ from repro.blob.provider_manager import (
     RoundRobinPolicy,
     make_policy,
 )
-from repro.blob.replication import RepairReport, find_under_replicated, repair_blob
+from repro.blob.replication import (
+    RepairReport,
+    find_under_replicated,
+    live_replicas,
+    repair_blob,
+    repair_leaf,
+)
+from repro.blob.scrub import MaintenanceDaemon, ScrubReport, Throttle, scrub_store
 from repro.blob.segment_tree import (
     DescentPlan,
     InnerNode,
@@ -103,5 +110,11 @@ __all__ = [
     "diff_snapshots",
     "RepairReport",
     "find_under_replicated",
+    "live_replicas",
     "repair_blob",
+    "repair_leaf",
+    "MaintenanceDaemon",
+    "ScrubReport",
+    "Throttle",
+    "scrub_store",
 ]

@@ -107,15 +107,14 @@ def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> Gc
             mark(other_id, max(other.gc_floor, 1))
 
     # Sweep metadata buckets (every replica holds full keys; sweep
-    # each).  Offline buckets are skipped like the data-provider sweep
-    # below: their garbage keeps until the first pass after recovery,
-    # and a bucket dying mid-sweep must not abort the pass after a
-    # partial deletion.
+    # each).  Offline buckets are skipped via the shared
+    # ``online_buckets`` skip-list — the same rule the scrub pass uses —
+    # exactly like the data-provider sweep below: their garbage keeps
+    # until the first pass after recovery, and a bucket dying mid-sweep
+    # must not abort the pass after a partial deletion.
     nodes_deleted = 0
     swept_keys: set[NodeKey] = set()
-    for bucket in store.metadata.store.buckets.values():
-        if not bucket.online:
-            continue
+    for bucket in store.metadata.store.online_buckets():
         for key in bucket.keys():
             if isinstance(key, NodeKey) and key.blob_id == blob_id and key not in marked_nodes:
                 try:

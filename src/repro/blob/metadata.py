@@ -10,11 +10,31 @@ so retries are idempotent).
 
 from __future__ import annotations
 
+from typing import Iterable, Optional
+
 from repro.blob.segment_tree import NodeKey, TreeNode
-from repro.dht.store import DhtStore
+from repro.dht.store import MISSING, DhtStore
 from repro.errors import VersionNotFound, WriteConflict
 
-__all__ = ["MetadataService"]
+__all__ = ["MetadataService", "agreed_value"]
+
+
+def agreed_value(values: dict[str, object]) -> Optional[TreeNode]:
+    """The node every non-missing replica agrees on, or ``None``.
+
+    The one replica-agreement predicate shared by the convergence
+    check (:meth:`MetadataService.divergent_keys`) and the scrub's
+    healing pass, so "do the replicas agree" can never mean two
+    different things.  ``None`` when no online replica holds a copy,
+    or when two copies conflict.
+    """
+    present = [v for v in values.values() if v is not MISSING]
+    if not present:
+        return None
+    first = present[0]
+    if all(v == first for v in present[1:]):
+        return first
+    return None
 
 
 class MetadataService:
@@ -70,3 +90,38 @@ class MetadataService:
     def load_by_provider(self) -> dict[str, int]:
         """Stored node count per metadata provider (balance diagnostics)."""
         return self.store.load_by_bucket()
+
+    # -- anti-entropy surface (DESIGN.md §8) -----------------------------------
+
+    def all_node_keys(self) -> set[NodeKey]:
+        """Every tree-node key held by any *online* bucket."""
+        return {k for k in self.store.all_keys() if isinstance(k, NodeKey)}
+
+    def replica_nodes(self, key: NodeKey) -> dict[str, object]:
+        """Per-online-replica view of one key (value or ``MISSING``)."""
+        return self.store.replica_values(key)
+
+    def heal_replica(self, bucket_name: str, node: TreeNode) -> None:
+        """Overwrite one replica's copy with the authoritative node."""
+        self.store.put_replica(bucket_name, node.key, node)
+
+    def divergent_keys(
+        self, keys: Optional[Iterable[NodeKey]] = None
+    ) -> list[NodeKey]:
+        """Keys whose online replicas disagree (missing or different).
+
+        The anti-entropy convergence check: an empty result means every
+        online replica of every (given) key holds an identical node —
+        replica digests over any shared key set are then equal.
+        """
+        chosen = self.all_node_keys() if keys is None else keys
+        divergent = []
+        for key in chosen:
+            values = self.replica_nodes(key)
+            if not values:
+                continue  # every owner offline; nothing to compare
+            if agreed_value(values) is None or any(
+                v is MISSING for v in values.values()
+            ):
+                divergent.append(key)
+        return sorted(divergent, key=repr)

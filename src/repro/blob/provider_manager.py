@@ -15,7 +15,7 @@ the placement ablation benchmark.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence
 
 import numpy as np

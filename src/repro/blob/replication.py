@@ -23,7 +23,13 @@ from repro.blob.segment_tree import LeafNode, NodeKey, iter_reachable
 from repro.blob.store import LocalBlobStore
 from repro.errors import ReplicationError
 
-__all__ = ["RepairReport", "find_under_replicated", "repair_blob"]
+__all__ = [
+    "RepairReport",
+    "find_under_replicated",
+    "live_replicas",
+    "repair_blob",
+    "repair_leaf",
+]
 
 
 @dataclass(frozen=True)
@@ -36,7 +42,7 @@ class RepairReport:
     copies_created: int
 
 
-def _live_replicas(store: LocalBlobStore, descriptor: BlockDescriptor) -> list[str]:
+def live_replicas(store: LocalBlobStore, descriptor: BlockDescriptor) -> list[str]:
     """Replica providers that are online *and* still hold the block."""
     return [
         name
@@ -61,19 +67,73 @@ def find_under_replicated(
         if isinstance(node, LeafNode) and not node.block.is_zero:
             # Zero leaves (tombstone filler) are synthesised by readers
             # and store nothing: there is no replica set to maintain.
-            if len(_live_replicas(store, node.block)) < state.replication:
+            if len(live_replicas(store, node.block)) < state.replication:
                 lacking.append(node)
     return lacking
+
+
+def repair_leaf(store: LocalBlobStore, node: LeafNode, target: int) -> int:
+    """Restore one leaf's block to *target* live replicas.
+
+    Copies the payload from a surviving replica to fresh providers
+    (chosen among live providers not already holding it) and republishes
+    the leaf with the updated replica set — the one piece of metadata
+    treated as mutable.  Returns the number of copies created (0 when
+    the block is already at target).  Raises :class:`ReplicationError`
+    if the block has **no** live replica (data loss: only a re-write can
+    recover it) or too few live providers exist to reach *target*.
+
+    Shared by :func:`repair_blob` and the scrub pass
+    (:mod:`repro.blob.scrub`), so both heal identically.
+    """
+    descriptor = node.block
+    live = live_replicas(store, descriptor)
+    if len(live) >= target:
+        return 0
+    if not live:
+        raise ReplicationError(
+            f"block {descriptor.block_id} of blob "
+            f"{descriptor.blob_id!r} has no live replica"
+        )
+    payload = store.providers[live[0]].get(descriptor.block_id)
+    candidates = [
+        p.name
+        for p in store.provider_manager.live_providers()
+        if p.name not in live
+    ]
+    needed = target - len(live)
+    if len(candidates) < needed:
+        raise ReplicationError(
+            f"not enough live providers to restore replication {target} "
+            f"for block {descriptor.block_id}"
+        )
+    new_homes = candidates[:needed]
+    # Scatter the copies through the store's I/O engine when it has one:
+    # maintenance traffic shares the same bounded pool as foreground I/O.
+    store._map_io(
+        lambda name: store.providers[name].put(descriptor.block_id, payload),
+        new_homes,
+    )
+    new_descriptor = BlockDescriptor(
+        blob_id=descriptor.blob_id,
+        version=descriptor.version,
+        index=descriptor.index,
+        size=descriptor.size,
+        providers=tuple(live + new_homes),
+        nonce=descriptor.nonce,
+        seq=descriptor.seq,
+    )
+    # Replica location is mutable metadata: replace the leaf in the DHT.
+    store.metadata.store.put(node.key, LeafNode(key=node.key, block=new_descriptor))
+    return len(new_homes)
 
 
 def repair_blob(store: LocalBlobStore, blob_id: str, version: int | None = None) -> RepairReport:
     """Restore the replication level of every block in one snapshot.
 
-    For each under-replicated block: copy the payload from a surviving
-    replica to fresh providers (chosen among live providers not already
-    holding it) and republish the leaf with the updated replica set.
-    Raises :class:`ReplicationError` if a block has **no** live replica
-    (data loss: only a re-write can recover it).
+    Raises :class:`ReplicationError` if a block cannot be repaired (no
+    live replica, or not enough live providers); use the scrub pass for
+    a best-effort sweep that records failures instead of raising.
     """
     info = store.snapshot(blob_id, version)
     state = store.version_manager.blob(blob_id)
@@ -90,40 +150,8 @@ def repair_blob(store: LocalBlobStore, blob_id: str, version: int | None = None)
         if not isinstance(node, LeafNode) or node.block.is_zero:
             continue
         checked += 1
-        descriptor = node.block
-        live = _live_replicas(store, descriptor)
-        if len(live) >= target:
-            continue
-        if not live:
-            raise ReplicationError(
-                f"block {descriptor.block_id} of blob {blob_id!r} has no live replica"
-            )
-        payload = store.providers[live[0]].get(descriptor.block_id)
-        candidates = [
-            p.name
-            for p in store.provider_manager.live_providers()
-            if p.name not in live
-        ]
-        needed = target - len(live)
-        if len(candidates) < needed:
-            raise ReplicationError(
-                f"not enough live providers to restore replication {target} "
-                f"for block {descriptor.block_id}"
-            )
-        new_homes = candidates[:needed]
-        for name in new_homes:
-            store.providers[name].put(descriptor.block_id, payload)
-            created += 1
-        new_descriptor = BlockDescriptor(
-            blob_id=descriptor.blob_id,
-            version=descriptor.version,
-            index=descriptor.index,
-            size=descriptor.size,
-            providers=tuple(live + new_homes),
-            nonce=descriptor.nonce,
-            seq=descriptor.seq,
-        )
-        # Replica location is mutable metadata: replace the leaf in the DHT.
-        store.metadata.store.put(node.key, LeafNode(key=node.key, block=new_descriptor))
-        repaired += 1
+        copies = repair_leaf(store, node, target)
+        if copies:
+            created += copies
+            repaired += 1
     return RepairReport(blob_id, checked, repaired, created)

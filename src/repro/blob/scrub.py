@@ -1,0 +1,555 @@
+"""Anti-entropy scrub: the background maintenance pass (DESIGN.md §8).
+
+The failure story so far healed itself *except* for one manual step: a
+metadata replica that was down while a write aborted serves stale
+real-patch nodes after it recovers, until someone remembers to call
+``LocalBlobStore.republish_tombstone``.  The versioning paper's model
+(Nicolae et al.) assumes metadata replicas converge on their own; this
+module makes them.
+
+One incremental pass (:func:`scrub_store`) unifies every repair the
+codebase previously scattered across manual entry points:
+
+1. **tombstone reconciliation** — for every tombstoned version, the
+   filler patch is re-derived from the version manager's durable spec
+   and force-healed onto every online replica that is missing it *or
+   holds a stale real-patch node of the dead write* (the recovered-
+   bucket case).  This absorbs ``republish_tombstone`` entirely.
+2. **metadata replica reconciliation** — every tree-node key held by
+   any online bucket is compared across its online owner replicas;
+   lagging replicas (down during the original publish) are re-fed from
+   any healthy copy, and divergent *leaf* replicas (a repair rewrote
+   the replica set while one bucket was down) are reconciled in favour
+   of the copy with the most live block replicas.
+3. **block re-replication** — the data-path repair
+   (:func:`repro.blob.replication.repair_leaf`) folded into the same
+   sweep: every retained snapshot's under-replicated blocks are copied
+   back up to target, best effort (a block with no surviving replica is
+   reported, not raised, so one lost block cannot stop the pass).
+
+The pass never blocks the foreground read/write path: it takes the
+store's control-plane lock only to snapshot version-manager state, it
+skips versions that are in flight (their publish is racing, not
+broken), it skips keys below the GC floor (healing them could resurrect
+swept garbage; deleting them is GC's job — a below-floor node may still
+be shared with a descendant branch), and all heavy I/O runs through the
+store's bounded :class:`~repro.blob.io_engine.ParallelIOEngine` pool
+under an optional :class:`Throttle`, so scrubbing yields to client I/O
+instead of starving it.
+
+:class:`MaintenanceDaemon` runs the pass on a period;
+``LocalBlobStore.start_maintenance()`` owns one per store and
+``repro.cli scrub`` drives a self-contained chaos demonstration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.blob.metadata import agreed_value
+from repro.blob.replication import live_replicas, repair_leaf
+from repro.blob.segment_tree import (
+    LeafNode,
+    NodeKey,
+    TreeNode,
+    build_tombstone_patch,
+    iter_reachable,
+)
+from repro.blob.version_manager import TombstoneSpec
+from repro.dht.store import MISSING
+from repro.errors import (
+    BlobError,
+    ProviderError,
+    ReplicationError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us not)
+    from repro.blob.store import LocalBlobStore
+
+__all__ = ["MaintenanceDaemon", "ScrubReport", "Throttle", "scrub_store"]
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """What one anti-entropy pass examined and healed.
+
+    ``errors`` lists conditions the pass could observe but not repair
+    (a block with no live replica, a subtree on an offline bucket);
+    they stay for the next pass — or for the GC/operator — and never
+    abort the sweep.
+    """
+
+    blobs_scanned: int = 0
+    #: Tombstoned versions whose filler patch was re-derived and checked.
+    tombstones_checked: int = 0
+    #: Filler nodes force-healed (missing or stale real-patch replicas).
+    filler_republished: int = 0
+    #: Ordinary tree-node keys compared across their online replicas.
+    nodes_checked: int = 0
+    #: Missing replica copies re-fed from a healthy replica.
+    replicas_healed: int = 0
+    #: Divergent leaf replicas reconciled (stale replica-set tuples).
+    conflicts_resolved: int = 0
+    #: Non-zero leaves whose block replication level was verified.
+    blocks_checked: int = 0
+    #: Blocks found under target and copied back up.
+    blocks_repaired: int = 0
+    #: Individual block copies created while repairing.
+    copies_created: int = 0
+    #: Keys skipped because their version sits below the blob's GC floor.
+    skipped_gc_floor: int = 0
+    #: Keys skipped because their version is still in flight.
+    skipped_in_flight: int = 0
+    #: Metadata buckets that were offline for the whole pass.
+    offline_buckets: int = 0
+    errors: tuple[str, ...] = ()
+
+    @property
+    def healed_total(self) -> int:
+        """Everything this pass changed (metadata nodes + block copies)."""
+        return (
+            self.filler_republished
+            + self.replicas_healed
+            + self.conflicts_resolved
+            + self.copies_created
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when the pass found nothing to heal and no errors."""
+        return self.healed_total == 0 and not self.errors
+
+
+class Throttle:
+    """Paces maintenance work to *ops_per_sec* operations per second.
+
+    A tiny token bucket shared by every scrub phase: each healed or
+    checked item costs one :meth:`tick`.  Thread-safe, so a daemon pass
+    and an operator-invoked pass share one budget.  An optional
+    *interrupt* event cuts a sleep short — the daemon passes its stop
+    event so shutdown never waits out a throttle delay.
+    """
+
+    def __init__(
+        self, ops_per_sec: float, interrupt: Optional[threading.Event] = None
+    ):
+        if ops_per_sec <= 0:
+            raise ValueError(f"ops_per_sec must be > 0, got {ops_per_sec}")
+        self.ops_per_sec = float(ops_per_sec)
+        self.interrupt = interrupt
+        self._lock = threading.Lock()
+        self._next_slot = 0.0
+
+    def tick(self, n: int = 1) -> None:
+        """Charge *n* operations, sleeping if the budget is exhausted."""
+        cost = n / self.ops_per_sec
+        now = time.monotonic()
+        with self._lock:
+            start = max(self._next_slot, now)
+            self._next_slot = start + cost
+        if start > now:
+            if self.interrupt is not None:
+                self.interrupt.wait(start - now)
+            else:
+                time.sleep(start - now)
+
+
+@dataclass
+class _BlobPlan:
+    """Control-plane snapshot of one BLOB, taken under the store lock."""
+
+    blob_id: str
+    gc_floor: int
+    published: int
+    replication: int
+    in_flight: frozenset[int]
+    tombstone_specs: list[TombstoneSpec] = field(default_factory=list)
+
+
+def _snapshot_control_plane(store: "LocalBlobStore") -> list[_BlobPlan]:
+    """One short critical section: everything the pass needs from the
+    version manager, so no scrub I/O ever holds the control lock."""
+    vm = store.version_manager
+    plans = []
+    with store._lock:
+        for blob_id in vm.blob_ids():
+            state = vm.blob(blob_id)
+            plan = _BlobPlan(
+                blob_id=blob_id,
+                gc_floor=state.gc_floor,
+                published=state.published,
+                replication=state.replication,
+                in_flight=frozenset(vm.in_flight(blob_id)),
+            )
+            for version in sorted(state.tombstoned):
+                if version < state.gc_floor:
+                    continue  # its tree was swept; republishing resurrects garbage
+                if vm.owner_of(blob_id, version) != blob_id:
+                    continue  # inherited across a branch: the ancestor owns the keys
+                plan.tombstone_specs.append(vm.tombstone_spec(blob_id, version))
+            plans.append(plan)
+    return plans
+
+
+#: "Keep going?" probe threaded through every scrub loop; the daemon
+#: wires it to its stop event so shutdown never waits out a full pass.
+StopProbe = Callable[[], bool]
+
+
+def _never_stop() -> bool:
+    return False
+
+
+def _scrub_tombstones(
+    store: "LocalBlobStore",
+    plan: _BlobPlan,
+    throttle: Optional[Throttle],
+    counters: dict,
+    errors: list[str],
+    should_stop: StopProbe,
+) -> set[NodeKey]:
+    """Phase 1: heal every tombstone's filler patch in place.
+
+    Force-overwrites any online replica that is missing a filler node
+    or still holds a stale real-patch node of the dead write — exactly
+    what the manual ``republish_tombstone`` did, plus the per-replica
+    stale-node case it could not see.  Returns the filler key set so
+    the reconciliation phase skips them.
+    """
+    filler_keys: set[NodeKey] = set()
+    for spec in plan.tombstone_specs:
+        counters["tombstones_checked"] += 1
+        patch = build_tombstone_patch(
+            blob_id=spec.blob_id,
+            version=spec.version,
+            write_start=spec.start_block,
+            write_end=spec.end_block,
+            size_after=spec.size_after,
+            prior_size=spec.prior_size,
+            block_size=spec.block_size,
+            history=spec.history,
+        )
+        for node in patch:
+            if should_stop():
+                return filler_keys
+            filler_keys.add(node.key)
+            if throttle is not None:
+                throttle.tick()
+            for bucket_name, value in store.metadata.replica_nodes(node.key).items():
+                if value is MISSING or value != node:
+                    if _heal(store, bucket_name, node, errors):
+                        counters["filler_republished"] += 1
+    return filler_keys
+
+
+def _heal(
+    store: "LocalBlobStore", bucket_name: str, node: TreeNode, errors: list[str]
+) -> bool:
+    """One targeted replica write, best effort.
+
+    A bucket dying between the pass's enumeration and this write must
+    not abort the sweep (the same mid-sweep rule the GC follows): the
+    failure is recorded and the bucket heals on the first pass after
+    it recovers.  Returns whether the write landed.
+    """
+    try:
+        store.metadata.heal_replica(bucket_name, node)
+        return True
+    except (ProviderError, ReplicationError) as exc:
+        errors.append(f"heal of {node.key} on {bucket_name} failed: {exc}")
+        return False
+
+
+def _reconcile_leaf_divergence(
+    store: "LocalBlobStore", values: dict[str, object]
+) -> Optional[TreeNode]:
+    """Authority for divergent leaf replicas: same immutable block, but
+    replica-set tuples rewritten by repairs while a bucket was down.
+    The copy naming the most live block replicas wins (freshest view);
+    anything else differing is an immutability violation we refuse to
+    guess about."""
+    leaves = [v for v in values.values() if isinstance(v, LeafNode)]
+    if len(leaves) != sum(1 for v in values.values() if v is not MISSING):
+        return None
+    identities = {
+        (leaf.block.block_id, leaf.block.size, leaf.block.index)
+        for leaf in leaves
+        if not leaf.block.is_zero
+    }
+    if len(identities) != 1:
+        return None
+    return max(leaves, key=lambda leaf: len(live_replicas(store, leaf.block)))
+
+
+def _scrub_metadata_replicas(
+    store: "LocalBlobStore",
+    plans: dict[str, _BlobPlan],
+    skip_keys: set[NodeKey],
+    throttle: Optional[Throttle],
+    counters: dict,
+    errors: list[str],
+    should_stop: StopProbe,
+) -> None:
+    """Phase 2: converge every remaining key's online replica set."""
+    for key in sorted(store.metadata.all_node_keys(), key=repr):
+        if should_stop():
+            return
+        if key in skip_keys:
+            continue
+        plan = plans.get(key.blob_id)
+        if plan is None:
+            continue  # foreign key (test debris); nothing authoritative to say
+        if key.version in plan.in_flight:
+            counters["skipped_in_flight"] += 1
+            continue  # publish still racing — absence is not damage yet
+        if key.version < plan.gc_floor:
+            counters["skipped_gc_floor"] += 1
+            continue  # below the floor: GC's to delete, never ours to heal
+        values = store.metadata.replica_nodes(key)
+        if not values:
+            continue  # every owner offline; nothing to compare
+        counters["nodes_checked"] += 1
+        if throttle is not None:
+            throttle.tick()
+        if all(v is MISSING for v in values.values()):
+            # The only holder went offline since enumeration: not a
+            # conflict, just nothing to heal from until it recovers.
+            errors.append(f"no online replica holds {key}; recheck after recovery")
+            continue
+        authority = agreed_value(values)
+        divergent = authority is None
+        if divergent:
+            authority = _reconcile_leaf_divergence(store, values)
+            if authority is None:
+                errors.append(
+                    f"unreconcilable divergence at {key}: "
+                    f"{sorted(values, key=repr)} disagree on immutable content"
+                )
+                continue
+        for bucket_name, value in values.items():
+            if value is MISSING or value != authority:
+                if _heal(store, bucket_name, authority, errors):
+                    if divergent:
+                        counters["conflicts_resolved"] += 1
+                    else:
+                        counters["replicas_healed"] += 1
+
+
+def _scrub_blocks(
+    store: "LocalBlobStore",
+    plan: _BlobPlan,
+    seen: set[NodeKey],
+    throttle: Optional[Throttle],
+    counters: dict,
+    errors: list[str],
+    should_stop: StopProbe,
+) -> None:
+    """Phase 3: restore block replication over every retained snapshot.
+
+    Walks each retained version's tree with a shared seen-set so nodes
+    shared between snapshots (the common case) are checked exactly
+    once.  Repair failures are recorded, never raised: the sweep is
+    incremental by contract.
+    """
+    resolver = store.key_resolver()
+    for version in range(max(plan.gc_floor, 1), plan.published + 1):
+        try:
+            info = store.snapshot(plan.blob_id, version)
+        except BlobError as exc:
+            errors.append(f"{plan.blob_id} v{version}: snapshot unavailable: {exc}")
+            continue
+        if info.size == 0:
+            continue
+        root = NodeKey(info.blob_id, info.version, 0, info.root_span)
+        try:
+            nodes = [
+                node
+                for node in iter_reachable(
+                    store.metadata.get_node, root, key_resolver=resolver
+                )
+                if node.key not in seen
+            ]
+        except (BlobError, ProviderError) as exc:
+            # A subtree on an offline bucket: the tree heals when the
+            # bucket recovers (phase 2 of a later pass); record and go on.
+            errors.append(f"{plan.blob_id} v{version}: tree unreadable: {exc}")
+            continue
+        for node in nodes:
+            if should_stop():
+                return
+            seen.add(node.key)
+            if not isinstance(node, LeafNode) or node.block.is_zero:
+                continue
+            counters["blocks_checked"] += 1
+            if throttle is not None:
+                throttle.tick()
+            try:
+                copies = repair_leaf(store, node, plan.replication)
+            except (ReplicationError, ProviderError) as exc:
+                errors.append(f"{plan.blob_id} v{version}: {exc}")
+                continue
+            if copies:
+                counters["blocks_repaired"] += 1
+                counters["copies_created"] += copies
+
+
+def scrub_store(
+    store: "LocalBlobStore",
+    throttle: Optional[Throttle] = None,
+    should_stop: Optional[StopProbe] = None,
+) -> ScrubReport:
+    """Run one full anti-entropy pass over every BLOB of *store*.
+
+    Safe to run concurrently with reads, writes and other scrub passes
+    (healing is idempotent: it only ever writes values derivable from
+    durable state).  With *throttle* set, the pass paces itself so
+    foreground I/O keeps priority on the shared engine pool.  A
+    *should_stop* probe returning True makes the pass return early
+    with whatever it healed so far (every heal is independently
+    consistent, so a truncated pass is just a smaller pass).
+    """
+    if should_stop is None:
+        should_stop = _never_stop
+    plans = _snapshot_control_plane(store)
+    counters = {
+        "tombstones_checked": 0,
+        "filler_republished": 0,
+        "nodes_checked": 0,
+        "replicas_healed": 0,
+        "conflicts_resolved": 0,
+        "blocks_checked": 0,
+        "blocks_repaired": 0,
+        "copies_created": 0,
+        "skipped_gc_floor": 0,
+        "skipped_in_flight": 0,
+    }
+    errors: list[str] = []
+
+    filler_keys: set[NodeKey] = set()
+    for plan in plans:
+        filler_keys |= _scrub_tombstones(
+            store, plan, throttle, counters, errors, should_stop
+        )
+
+    _scrub_metadata_replicas(
+        store,
+        {p.blob_id: p for p in plans},
+        filler_keys,
+        throttle,
+        counters,
+        errors,
+        should_stop,
+    )
+
+    seen: set[NodeKey] = set()
+    for plan in plans:
+        if should_stop():
+            break
+        _scrub_blocks(store, plan, seen, throttle, counters, errors, should_stop)
+
+    dht = store.metadata.store
+    online = sum(1 for _ in dht.online_buckets())
+    return ScrubReport(
+        blobs_scanned=len(plans),
+        offline_buckets=len(dht.buckets) - online,
+        errors=tuple(errors),
+        **counters,
+    )
+
+
+class MaintenanceDaemon:
+    """Background thread running :func:`scrub_store` on a period.
+
+    The daemon is deliberately boring: one pass per ``interval``
+    seconds, each pass throttled to ``ops_per_sec`` (None = unpaced),
+    failures recorded on :attr:`last_error` without killing the loop.
+    ``LocalBlobStore.start_maintenance()`` creates, starts and owns
+    one; ``store.close()`` stops it.
+    """
+
+    def __init__(
+        self,
+        store: "LocalBlobStore",
+        interval: float = 1.0,
+        ops_per_sec: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self._store = store
+        self.interval = interval
+        self.ops_per_sec = ops_per_sec
+        self._stop = threading.Event()
+        # The stop event interrupts throttle sleeps and truncates the
+        # in-flight pass, so stop()/close() return promptly instead of
+        # waiting out a long throttled sweep.
+        self.throttle = (
+            Throttle(ops_per_sec, interrupt=self._stop)
+            if ops_per_sec is not None
+            else None
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._state_lock = threading.Lock()
+        self.passes = 0
+        self.last_report: Optional[ScrubReport] = None
+        self.last_error: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "MaintenanceDaemon":
+        """Start the background loop (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="blob-scrub", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop the loop; with *wait*, join the thread (idempotent)."""
+        self._stop.set()
+        if wait and self._thread is not None and self._thread.is_alive():
+            self._thread.join()
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "MaintenanceDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the loop -----------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.run_once()
+            self._stop.wait(self.interval)
+
+    def run_once(self) -> Optional[ScrubReport]:
+        """One synchronous pass (also the unit the loop runs).
+
+        Returns the report, or ``None`` if the pass itself raised — the
+        exception lands on :attr:`last_error` instead of propagating,
+        because a maintenance loop that dies on the first transient
+        fault protects nothing.
+        """
+        try:
+            report = scrub_store(
+                self._store, throttle=self.throttle, should_stop=self._stop.is_set
+            )
+        except Exception as exc:
+            with self._state_lock:
+                self.last_error = exc
+            return None
+        with self._state_lock:
+            self.passes += 1
+            self.last_report = report
+            self.last_error = None
+        return report

@@ -168,13 +168,62 @@ class LocalBlobStore:
         self._nonce = itertools.count(1)
         self._lock = threading.Lock()
         self._blob_counter = itertools.count(1)
+        self._maintenance = None
 
     # -- lifecycle of the store itself ---------------------------------------------
 
     def close(self) -> None:
-        """Release the I/O engine's threads (idempotent, optional)."""
+        """Stop maintenance and release the I/O engine's threads (idempotent)."""
+        self.stop_maintenance()
         if self.io_engine is not None:
             self.io_engine.shutdown()
+
+    # -- maintenance (anti-entropy scrub, DESIGN.md §8) -----------------------------
+
+    def start_maintenance(
+        self, interval: float = 1.0, ops_per_sec: Optional[float] = None
+    ):
+        """Start (or return) this store's background scrub daemon.
+
+        The daemon runs one anti-entropy pass per *interval* seconds —
+        reconciling metadata replicas, re-publishing tombstone filler,
+        restoring block replication — throttled to *ops_per_sec* so it
+        never starves foreground I/O (``None`` = unpaced).  Owned by
+        the store: ``close()`` stops it.  Calling again with different
+        settings restarts the daemon with the new ones.  Returns the
+        :class:`~repro.blob.scrub.MaintenanceDaemon`.
+        """
+        from repro.blob.scrub import MaintenanceDaemon
+
+        running = self._maintenance is not None and self._maintenance.running
+        if running and (
+            self._maintenance.interval != interval
+            or self._maintenance.ops_per_sec != ops_per_sec
+        ):
+            self._maintenance.stop()
+            running = False
+        if not running:
+            self._maintenance = MaintenanceDaemon(
+                self, interval=interval, ops_per_sec=ops_per_sec
+            ).start()
+        return self._maintenance
+
+    def stop_maintenance(self) -> None:
+        """Stop the scrub daemon if one is running (idempotent)."""
+        if self._maintenance is not None:
+            self._maintenance.stop()
+            self._maintenance = None
+
+    def scrub(self, ops_per_sec: Optional[float] = None):
+        """Run one synchronous anti-entropy pass; returns the ScrubReport.
+
+        ``ops_per_sec=None`` runs unpaced; any other value must be > 0
+        (``Throttle`` rejects 0 rather than silently disabling pacing).
+        """
+        from repro.blob.scrub import Throttle, scrub_store
+
+        throttle = Throttle(ops_per_sec) if ops_per_sec is not None else None
+        return scrub_store(self, throttle=throttle)
 
     def __enter__(self) -> "LocalBlobStore":
         return self
@@ -399,7 +448,7 @@ class LocalBlobStore:
         one outcome this protocol exists to prevent.  Whatever the
         rollback or filler publish did not finish is recoverable later:
         orphaned blocks fall to the next GC sweep, missing filler nodes
-        to :meth:`republish_tombstone`.
+        to the anti-entropy scrub (or :meth:`republish_tombstone`).
         """
         try:
             self._rollback_write(stored, placements, sizes)
@@ -428,8 +477,8 @@ class LocalBlobStore:
         providers are failing, so insisting on full publication would
         re-wedge the very protocol this exists to unwedge.  Skipped
         nodes leave their key range unreadable (exactly as the outage
-        already made it) until :meth:`republish_tombstone` runs after
-        recovery.
+        already made it) until the scrub pass — or a manual
+        :meth:`republish_tombstone` — runs after recovery.
         """
         patch = build_tombstone_patch(
             blob_id=spec.blob_id,
@@ -452,6 +501,8 @@ class LocalBlobStore:
     def republish_tombstone(self, blob_id: str, version: int) -> list[NodeKey]:
         """Re-publish a tombstone's filler metadata (idempotent).
 
+        The manual escape hatch the anti-entropy scrub (DESIGN.md §8)
+        automates — kept for targeted, single-version recovery.
         Run after a metadata-provider outage heals: filler nodes the
         abort could not place (and stale partial nodes of the dead
         write stranded on buckets that were down during the abort) are

@@ -21,7 +21,7 @@ from typing import Optional
 from repro.blob.store import LocalBlobStore
 from repro.bsfs.cache import BlockReadCache, WriteBuffer
 from repro.bsfs.namespace import NamespaceManager
-from repro.errors import FileNotFound, IsADirectory
+from repro.errors import IsADirectory
 from repro.fsapi import FileStatus, FileSystem, RangeLocation, ReadStream, WriteStream
 from repro.util.chunks import align_down
 

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 
 from repro.bsfs.filesystem import BSFSFileSystem
 from repro.errors import FileSystemError
-from repro.util.chunks import split_range
 
 __all__ = ["CopyReport", "concurrent_copy"]
 

@@ -7,6 +7,11 @@ Regenerate any figure of the paper's evaluation::
     repro figure all --full
     repro calibration          # dump the platform constants
 
+Exercise the anti-entropy maintenance pass (DESIGN.md §8)::
+
+    repro scrub                # chaos demo: outage + abort, then heal
+    repro scrub --buckets 16 --replication 2 --writes 8
+
 ``python -m repro.cli ...`` works identically.
 """
 
@@ -52,7 +57,156 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("calibration", help="print the platform calibration constants")
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="anti-entropy demo: metadata outage + write abort, then one scrub pass heals it",
+    )
+    scrub.add_argument("--buckets", type=int, default=12, help="metadata buckets")
+    scrub.add_argument("--providers", type=int, default=6, help="data providers")
+    scrub.add_argument(
+        "--replication", type=int, default=2, help="data-block replica count"
+    )
+    scrub.add_argument(
+        "--metadata-replication",
+        type=int,
+        default=2,
+        help="metadata replica count (>= 2 exercises replica reconciliation)",
+    )
+    scrub.add_argument(
+        "--writes", type=int, default=6, help="healthy appends before the outage"
+    )
+    scrub.add_argument("--seed", type=int, default=0, help="scenario seed")
+    scrub.add_argument(
+        "--ops-per-sec",
+        type=float,
+        default=None,
+        help="throttle the scrub pass (default: unpaced)",
+    )
     return parser
+
+
+def _next_append_keys(store, blob_id: str, nblocks: int):
+    """Canonical metadata keys the NEXT append of *nblocks* will publish.
+
+    Computable from version-manager state alone (the same property the
+    abort protocol relies on), which lets the demo deterministically
+    kill every replica of one key the doomed write needs.
+    """
+    from repro.blob.segment_tree import build_tombstone_patch
+
+    state = store.version_manager.blob(blob_id)
+    prior = state.records[-1].size_after
+    block_size = state.block_size
+    start = prior // block_size
+    patch = build_tombstone_patch(
+        blob_id=blob_id,
+        version=len(state.records),
+        write_start=start,
+        write_end=start + nblocks,
+        size_after=prior + nblocks * block_size,
+        prior_size=prior,
+        block_size=block_size,
+        history=tuple(r.history_record for r in state.records[1:] if r.length > 0),
+    )
+    return [node.key for node in patch]
+
+
+def _run_scrub_demo(args) -> int:
+    """Drive the acceptance scenario end to end and report it.
+
+    Two injuries, one cure: (1) a metadata bucket sleeps through some
+    writes and recovers lagging (with ``--metadata-replication >= 2``);
+    (2) every replica of one key dies mid-protocol, so a write aborts
+    into a tombstone whose filler cannot fully land until the buckets
+    recover.  One scrub pass must then restore full, digest-verified
+    replica convergence and make every version readable — with no
+    manual ``republish_tombstone``.
+    """
+    from repro.blob import LocalBlobStore
+    from repro.errors import ProviderError, ReplicationError
+
+    bs = 1024
+    store = LocalBlobStore(
+        data_providers=args.providers,
+        metadata_providers=args.buckets,
+        block_size=bs,
+        replication=args.replication,
+        metadata_replication=args.metadata_replication,
+        seed=args.seed,
+    )
+    blob = store.create()
+    expected: dict[int, bytes] = {}
+    content = b""
+
+    def healthy_append(i: int, nblocks: int) -> None:
+        nonlocal content
+        data = bytes([65 + i % 26]) * (nblocks * bs)
+        version = store.append(blob, data)
+        content += data
+        expected[version] = content
+
+    for i in range(max(args.writes, 1)):
+        healthy_append(i, 1 + i % 3)
+
+    # Injury 1: a replica lags (only meaningful with replication >= 2 —
+    # at replication 1 the writes below would have no live copy to hit).
+    lag_victim = None
+    if args.metadata_replication >= 2:
+        lag_victim = sorted(store.metadata.store.buckets)[args.seed % args.buckets]
+        store.metadata.store.fail_bucket(lag_victim)
+        print(f"bucket {lag_victim} down; two appends succeed on its co-replicas")
+        healthy_append(97, 2)
+        healthy_append(98, 2)
+        store.metadata.store.recover_bucket(lag_victim)
+
+    # Injury 2: every replica of one key the next append must publish
+    # dies, so the write aborts into a tombstone mid-protocol.
+    doomed_key = _next_append_keys(store, blob, 2)[0]
+    outage = store.metadata.store.owners(doomed_key)
+    for name in outage:
+        store.metadata.store.fail_bucket(name)
+    print(f"buckets {outage} down (all replicas of {doomed_key}); appending ...")
+    try:
+        store.append(blob, b"x" * (2 * bs))
+    except (ProviderError, ReplicationError) as exc:
+        print(f"write aborted into a tombstone ({type(exc).__name__}), as designed")
+    else:
+        print("FAIL: the doomed append survived a total replica outage")
+        store.close()
+        return 1
+    aborted = store.latest_version(blob)
+    expected[aborted] = content + bytes(2 * bs)  # tombstone: zero-filled tail
+    for name in outage:
+        store.metadata.store.recover_bucket(name)
+
+    report = store.scrub(ops_per_sec=args.ops_per_sec)
+    print("\nscrub report after recovery:")
+    for name, value in sorted(dataclasses.asdict(report).items()):
+        print(f"  {name} = {value!r}")
+
+    failures = []
+    divergent = store.metadata.divergent_keys()
+    if divergent:
+        failures.append(f"{len(divergent)} divergent metadata keys remain")
+    if report.filler_republished == 0:
+        failures.append("expected the scrub to republish tombstone filler")
+    if lag_victim is not None and report.replicas_healed == 0:
+        failures.append("expected the scrub to re-feed the lagging replica")
+    for version, want in sorted(expected.items()):
+        if store.read(blob, version=version) != want:
+            failures.append(f"version {version} reads back wrong")
+    store.close()
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: {report.replicas_healed} lagging replicas re-fed, "
+        f"{report.filler_republished} filler nodes republished, all "
+        f"{len(expected)} versions read back byte-identical — no manual "
+        "republish_tombstone needed"
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -63,6 +217,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for field in dataclasses.fields(DEFAULT_CALIBRATION):
             print(f"{field.name} = {getattr(DEFAULT_CALIBRATION, field.name)!r}")
         return 0
+
+    if args.command == "scrub":
+        return _run_scrub_demo(args)
 
     scale = FULL if args.full else QUICK
     which = sorted(ALL_FIGURES) if args.which == "all" else [args.which]

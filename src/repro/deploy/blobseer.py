@@ -488,6 +488,37 @@ class SimBlobSeer:
         blob_id = yield from call(client, self.ns_server, ("lookup", path))
         return blob_id
 
+    # -- maintenance (anti-entropy, DESIGN.md §8) ---------------------------------
+
+    def scrub_metadata(self) -> dict[str, int]:
+        """One anti-entropy pass over the simulated metadata buckets.
+
+        Reconciles each tree-node key against its ring-assigned replica
+        set: a bucket that missed puts (down, or added after the write)
+        is re-fed from any healthy holder, and replicas disagreeing on
+        a leaf are converged on the copy its owners share (first owner
+        in ring order wins — in the simulation nodes are immutable, so
+        disagreement only arises from injected damage).  Mirrors the
+        functional layer's :func:`repro.blob.scrub.scrub_store`
+        metadata phase; returns ``{"keys_checked", "replicas_healed"}``.
+        """
+        all_keys: set[NodeKey] = set()
+        for bucket in self.md_buckets.values():
+            all_keys.update(bucket.keys())
+        checked = healed = 0
+        for key in all_keys:
+            owners = self.ring.replicas(key, self.metadata_replication)
+            holders = [name for name in owners if key in self.md_buckets[name]]
+            if not holders:
+                continue  # only non-owner debris holds it; nothing authoritative
+            checked += 1
+            authority = self.md_buckets[holders[0]][key]
+            for name in owners:
+                if self.md_buckets[name].get(key) != authority:
+                    self.md_buckets[name][key] = authority
+                    healed += 1
+        return {"keys_checked": checked, "replicas_healed": healed}
+
     # -- diagnostics -------------------------------------------------------------
 
     def provider_block_counts(self) -> dict[str, int]:

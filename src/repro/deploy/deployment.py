@@ -33,7 +33,6 @@ from repro.deploy.hadoop import (
 from repro.deploy.hdfs import SimHDFS
 from repro.deploy.platform import Calibration, DEFAULT_CALIBRATION
 from repro.simulation.cluster import NodeSpec, SimCluster, SimNode
-from repro.simulation.disk import DiskSpec
 
 __all__ = [
     "MicrobenchDeployment",

@@ -9,12 +9,24 @@ logic but puts each bucket behind an RPC server.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+import hashlib
+from typing import Hashable, Iterable, Iterator, Optional
 
 from repro.dht.ring import HashRing
 from repro.errors import ProviderUnavailable, ReplicationError
 
-__all__ = ["Bucket", "DhtStore"]
+__all__ = ["Bucket", "DhtStore", "MISSING"]
+
+
+class _Missing:
+    """Sentinel for "this replica does not hold the key" in enumerations."""
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return "<missing>"
+
+
+#: Replica-enumeration sentinel: the bucket is online but lacks the key.
+MISSING = _Missing()
 
 
 class Bucket:
@@ -53,6 +65,30 @@ class Bucket:
     def keys(self) -> Iterator[Hashable]:
         """Iterate stored keys (GC sweeps use this)."""
         return iter(list(self._items.keys()))
+
+    def peek(self, key: Hashable) -> object:
+        """Fetch without the online gate (anti-entropy reads a bucket's
+        durable content even around failure injection; a real recovered
+        node would scan its local disk the same way)."""
+        return self._items[key]
+
+    def digest(self, keys: Optional[Iterable[Hashable]] = None) -> str:
+        """Stable content digest over *keys* (default: every stored key).
+
+        Two replicas holding identical values for the digested keys
+        produce identical digests — the anti-entropy convergence check
+        (DESIGN.md §8).  Keys absent from the bucket hash as missing
+        rather than raising, so digests over a shared key set are
+        comparable even while a replica is behind.
+        """
+        chosen = list(self._items.keys()) if keys is None else list(keys)
+        h = hashlib.sha256()
+        for key in sorted(chosen, key=repr):
+            h.update(repr(key).encode())
+            h.update(b"=")
+            h.update(repr(self._items.get(key, MISSING)).encode())
+            h.update(b";")
+        return h.hexdigest()
 
 
 class DhtStore:
@@ -116,6 +152,46 @@ class DhtStore:
             return True
         except (KeyError, ProviderUnavailable):
             return False
+
+    # -- anti-entropy surface (DESIGN.md §8) -----------------------------------
+
+    def online_buckets(self) -> Iterator[Bucket]:
+        """Live buckets only — the shared offline-bucket skip-list used
+        by every maintenance sweep (GC's metadata sweep, the scrub
+        pass).  Offline buckets keep their content and are picked up by
+        the first sweep after recovery."""
+        for bucket in self.buckets.values():
+            if bucket.online:
+                yield bucket
+
+    def all_keys(self) -> set[Hashable]:
+        """Union of keys across every *online* bucket (scrub enumeration)."""
+        keys: set[Hashable] = set()
+        for bucket in self.online_buckets():
+            keys.update(bucket.keys())
+        return keys
+
+    def replica_values(self, key: Hashable) -> dict[str, object]:
+        """What each *online* owner replica holds for *key*.
+
+        Maps bucket name to the stored value, or :data:`MISSING` when
+        the replica is online but lacks the key.  Offline owners are
+        omitted: their content cannot be compared until they recover.
+        """
+        values: dict[str, object] = {}
+        for name in self.owners(key):
+            bucket = self.buckets[name]
+            if not bucket.online:
+                continue
+            try:
+                values[name] = bucket.peek(key)
+            except KeyError:
+                values[name] = MISSING
+        return values
+
+    def put_replica(self, name: str, key: Hashable, value: object) -> None:
+        """Targeted write to one replica (scrub healing a lagging copy)."""
+        self.buckets[name].put(key, value)
 
     def fail_bucket(self, name: str) -> None:
         """Failure injection: mark one bucket offline."""

@@ -17,13 +17,12 @@ from repro.blob.block import BytesPayload, Payload
 from repro.bsfs.cache import BlockReadCache, WriteBuffer
 from repro.errors import (
     AppendNotSupported,
-    FileNotFound,
     IsADirectory,
     ProviderUnavailable,
 )
 from repro.fsapi import FileStatus, FileSystem, RangeLocation, ReadStream, WriteStream
 from repro.hdfs.datanode import DatanodeCore
-from repro.hdfs.namenode import ChunkInfo, NamenodeCore
+from repro.hdfs.namenode import NamenodeCore
 from repro.hdfs.placement import HdfsPlacementPolicy
 from repro.util.bytesize import MB, parse_size
 from repro.util.chunks import split_range

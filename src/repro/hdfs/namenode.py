@@ -18,7 +18,6 @@ from typing import Optional
 
 from repro.errors import (
     FileNotFound,
-    IsADirectory,
     LeaseConflict,
     ReadOnlyFile,
 )

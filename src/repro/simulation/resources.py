@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque
 
 from repro.errors import SimulationError
 from repro.simulation.engine import Engine, Event

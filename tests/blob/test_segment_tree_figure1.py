@@ -12,7 +12,6 @@ These tests pin down the exact node set after each stage, including
 which subtrees are shared with earlier versions.
 """
 
-import pytest
 
 from repro.blob import (
     BlockDescriptor,

@@ -15,7 +15,6 @@ import pytest
 
 from repro.blob import (
     LocalBlobStore,
-    NodeKey,
     build_tombstone_patch,
     collect_garbage,
     find_under_replicated,

@@ -1,9 +1,19 @@
 """Shared pytest configuration.
 
-Registers a hypothesis profile suited to CI: no wall-clock deadline
-(simulation-heavy properties vary in runtime) and derandomized so runs
-are reproducible.
+Registers two hypothesis profiles:
+
+* ``repro`` (default) — suited to the fast tier-1 CI job: no
+  wall-clock deadline (simulation-heavy properties vary in runtime)
+  and derandomized so runs are reproducible.
+* ``chaos`` — for the CI chaos job running the failure-injection
+  suites: deadline disabled and a higher example count, randomized so
+  repeated runs explore new interleavings.  This conftest selects the
+  profile from ``HYPOTHESIS_PROFILE``; values it does not register
+  (e.g. one exported for an unrelated project) fall back to the
+  default rather than aborting collection.
 """
+
+import os
 
 from hypothesis import HealthCheck, settings
 
@@ -13,4 +23,12 @@ settings.register_profile(
     derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "chaos",
+    deadline=None,
+    max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_profile = os.environ.get("HYPOTHESIS_PROFILE", "repro")
+settings.load_profile(_profile if _profile in ("repro", "chaos") else "repro")

@@ -8,7 +8,7 @@ both behaviours.
 
 import pytest
 
-from repro.deploy import Calibration, JobProfile, deploy_mapreduce
+from repro.deploy import JobProfile, deploy_mapreduce
 from repro.errors import JobFailed
 from repro.util.bytesize import MB
 

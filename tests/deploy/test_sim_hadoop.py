@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.deploy import Calibration, JobProfile, deploy_mapreduce
+from repro.deploy import JobProfile, deploy_mapreduce
 from repro.util.bytesize import MB
 
 BS = 64 * MB

@@ -114,8 +114,6 @@ class TestSimHdfsProtocol:
         assert cluster.engine.run(cluster.engine.process(scenario())) == BS
 
     def test_single_writer_semantics_in_sim(self):
-        from repro.errors import LeaseConflict
-
         cluster, hdfs, client = make_deployment()
         other = cluster.node("dn-000")
 

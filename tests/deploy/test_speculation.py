@@ -1,8 +1,6 @@
 """Tests for speculative execution in the simulated Hadoop engine."""
 
-import pytest
-
-from repro.deploy import Calibration, JobProfile, deploy_mapreduce
+from repro.deploy import JobProfile, deploy_mapreduce
 from repro.util.bytesize import MB
 
 BS = 64 * MB

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import Interrupt, SimulationError
+from repro.errors import Interrupt
 from repro.simulation import Engine
 from repro.simulation.resources import Gate, Resource, Store
 

@@ -1,0 +1,91 @@
+"""The CI benchmark regression gate must gate (tools/bench_compare.py).
+
+A gate that silently checks nothing is worse than no gate: these tests
+pin the failure contract — a >threshold regression fails, a benchmark
+missing from the current run fails, an empty intersection with the
+baseline fails — and the pass contract, including the median
+normalization that keeps uniformly-slower CI runners green.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "bench_compare.py"
+spec = importlib.util.spec_from_file_location("bench_compare", TOOL)
+bench_compare = importlib.util.module_from_spec(spec)
+sys.modules["bench_compare"] = bench_compare
+spec.loader.exec_module(bench_compare)
+
+
+BASE = {
+    "test_fig3a_single_writer": 1.0,
+    "test_fig4_concurrent_reads": 2.0,
+    "test_fig5_concurrent_appends": 0.5,
+}
+
+
+def test_identical_run_passes():
+    lines, failed = bench_compare.compare(BASE, BASE, 0.25, normalize=True)
+    assert failed == []
+
+
+def test_single_regression_fails():
+    current = dict(BASE, test_fig4_concurrent_reads=2.0 * 1.30)
+    lines, failed = bench_compare.compare(current, BASE, 0.25, normalize=True)
+    assert failed == ["test_fig4_concurrent_reads"]
+
+
+def test_uniformly_slower_machine_passes_with_normalization():
+    current = {name: mean * 1.3 for name, mean in BASE.items()}
+    _, failed = bench_compare.compare(current, BASE, 0.25, normalize=True)
+    assert failed == []
+    _, failed_raw = bench_compare.compare(current, BASE, 0.25, normalize=False)
+    assert sorted(failed_raw) == sorted(BASE)  # raw mode does flag it
+
+
+def test_extreme_uniform_slowdown_trips_the_drift_bound():
+    # Normalization is bounded: past --max-drift the gate refuses to
+    # assume "slow machine" and fails for a human to look.
+    current = {name: mean * 1.7 for name, mean in BASE.items()}
+    _, failed = bench_compare.compare(current, BASE, 0.25, normalize=True)
+    assert "<median-drift>" in failed
+
+
+def test_missing_benchmark_fails_the_gate():
+    current = {k: v for k, v in BASE.items() if k != "test_fig5_concurrent_appends"}
+    _, failed = bench_compare.compare(current, BASE, 0.25, normalize=True)
+    assert failed == ["test_fig5_concurrent_appends"]
+
+
+def test_empty_intersection_fails_the_gate():
+    _, failed = bench_compare.compare({"test_fig9_new": 1.0}, BASE, 0.25, True)
+    assert failed  # renamed everything != nothing to check
+
+
+def test_main_exit_codes_and_update(tmp_path):
+    current_json = tmp_path / "bench.json"
+    current_json.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"mean": mean}}
+                    for name, mean in BASE.items()
+                ]
+            }
+        )
+    )
+    baseline = tmp_path / "baseline.json"
+    assert (
+        bench_compare.main([str(current_json), "--baseline", str(baseline), "--update"])
+        == 0
+    )
+    assert bench_compare.main([str(current_json), "--baseline", str(baseline)]) == 0
+
+    slowed = json.loads(current_json.read_text())
+    for bench in slowed["benchmarks"]:
+        if bench["name"] == "test_fig4_concurrent_reads":
+            bench["stats"]["mean"] *= 1.3
+    current_json.write_text(json.dumps(slowed))
+    assert bench_compare.main([str(current_json), "--baseline", str(baseline)]) == 1

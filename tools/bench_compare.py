@@ -1,0 +1,198 @@
+"""Benchmark regression gate: compare a pytest-benchmark run to baseline.
+
+CI runs the figure benchmarks (fig3–fig6) with ``--benchmark-json`` and
+then::
+
+    python tools/bench_compare.py benchmark.json
+
+which fails (exit 1) if any figure benchmark regressed more than the
+threshold (default 25%) against the committed
+``benchmarks/baseline.json``.  Because CI runners differ in raw speed,
+per-benchmark ratios are normalized by the median ratio across all
+benchmarks by default: a uniformly slower machine shifts every ratio
+equally and cancels out, while a *single* benchmark regressing — the
+signature of an actual code regression — stands out against the median.
+Disable with ``--no-normalize`` for same-machine comparisons.  The
+normalization is bounded: a median ratio beyond ``--max-drift``
+(default 1.5) fails the gate outright, so a whole-suite code
+regression cannot hide behind "the machine must be slow".
+
+Refresh the baseline after an intentional performance change::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=bench.json
+    python tools/bench_compare.py bench.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import statistics
+import sys
+from pathlib import Path
+
+#: Benchmarks the gate watches: the paper-figure regenerations.
+DEFAULT_PATTERN = r"fig[3-6]"
+
+
+def load_means(path: Path, pattern: str) -> dict[str, float]:
+    """Mean wall time per matching benchmark from a pytest-benchmark JSON
+    (or from a baseline file previously written by ``--update``)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if "benchmarks" in data and isinstance(data["benchmarks"], dict):
+        entries = data["benchmarks"].items()  # our trimmed baseline format
+    else:
+        entries = (
+            (bench["name"], bench["stats"]["mean"])
+            for bench in data.get("benchmarks", [])
+        )
+    regex = re.compile(pattern)
+    return {name: float(mean) for name, mean in entries if regex.search(name)}
+
+
+def write_baseline(path: Path, means: dict[str, float]) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "note": (
+                    "Figure-benchmark baseline for tools/bench_compare.py; "
+                    "refresh with --update after intentional perf changes."
+                ),
+                "benchmarks": dict(sorted(means.items())),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float,
+    normalize: bool,
+    max_drift: float = 1.5,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, failed benchmark names).
+
+    Failures include genuine regressions AND baseline benchmarks
+    missing from the current run: a rename that silently stopped a
+    figure from being gated must fail loudly (refresh the baseline
+    with ``--update`` after intentional renames), not green-wash CI.
+    """
+    shared = sorted(set(current) & set(baseline))
+    lines, regressed = [], []
+    if not shared:
+        return (
+            ["no benchmarks shared with the baseline — the gate checked NOTHING"],
+            sorted(baseline) or ["<empty baseline>"],
+        )
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    drift = statistics.median(ratios.values()) if normalize else 1.0
+    lines.append(
+        f"machine drift (median ratio): {drift:.3f}"
+        + ("" if normalize else " [normalization off]")
+    )
+    if drift > max_drift:
+        # Normalization cannot tell a uniformly slower machine from a
+        # uniformly slower codebase; past this bound, stop assuming the
+        # machine and make a human look (rerun, or refresh the baseline).
+        regressed.append("<median-drift>")
+        lines.append(
+            f"  median drift {drift:.2f} exceeds --max-drift {max_drift:.2f}: "
+            "either the runner changed radically or the whole suite regressed"
+            "  << FAILED"
+        )
+    for name in shared:
+        adjusted = ratios[name] / drift
+        flag = ""
+        if adjusted > 1.0 + threshold:
+            regressed.append(name)
+            flag = f"  << REGRESSED >{threshold:.0%}"
+        lines.append(
+            f"  {name}: {baseline[name]:.4f}s -> {current[name]:.4f}s "
+            f"(x{ratios[name]:.2f}, adjusted x{adjusted:.2f}){flag}"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        regressed.append(name)
+        lines.append(
+            f"  {name}: MISSING from current run — the gate cannot check it"
+            "  << FAILED"
+        )
+    return lines, regressed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="pytest-benchmark JSON to check")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json",
+        help="baseline file (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max tolerated per-benchmark slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--pattern",
+        default=DEFAULT_PATTERN,
+        help=f"regex choosing gated benchmarks (default {DEFAULT_PATTERN!r})",
+    )
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw times instead of median-normalized ratios",
+    )
+    parser.add_argument(
+        "--max-drift",
+        type=float,
+        default=1.5,
+        help="fail if the median ratio itself exceeds this (whole-suite "
+        "regressions cannot hide behind normalization; default 1.5)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current, args.pattern)
+    if not current:
+        print(f"no benchmarks matching {args.pattern!r} in {args.current}")
+        return 1
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {args.baseline} ({len(current)} benchmarks)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"baseline {args.baseline} missing; run with --update to create it")
+        return 1
+    baseline = load_means(args.baseline, args.pattern)
+    lines, regressed = compare(
+        current,
+        baseline,
+        args.threshold,
+        normalize=not args.no_normalize,
+        max_drift=args.max_drift,
+    )
+    print("\n".join(lines))
+    if regressed:
+        print(
+            f"\nFAIL: {len(regressed)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} or went missing: {', '.join(regressed)}"
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
