@@ -21,7 +21,7 @@ from repro.blob.data_provider import DataProviderCore
 from repro.blob.diff import BlockRange, changed_ranges, diff_snapshots
 from repro.blob.io_engine import ParallelIOEngine
 from repro.blob.gc import GcReport, collect_garbage
-from repro.blob.metadata import MetadataService
+from repro.blob.metadata import MetadataService, NodeCache
 from repro.blob.provider_manager import (
     LeastLoadedPolicy,
     LocalFirstPolicy,
@@ -49,7 +49,9 @@ from repro.blob.segment_tree import (
     build_patch,
     build_tombstone_patch,
     collect_blocks,
+    collect_blocks_batched,
     iter_reachable,
+    iter_reachable_batched,
     latest_intersecting,
     root_span,
 )
@@ -83,7 +85,9 @@ __all__ = [
     "build_tombstone_patch",
     "DescentPlan",
     "collect_blocks",
+    "collect_blocks_batched",
     "iter_reachable",
+    "iter_reachable_batched",
     "VersionManagerCore",
     "WriteRecord",
     "WriteTicket",
@@ -100,6 +104,7 @@ __all__ = [
     "DataProviderCore",
     "ParallelIOEngine",
     "MetadataService",
+    "NodeCache",
     "LocalBlobStore",
     "BlockLocation",
     "DEFAULT_BLOCK_SIZE",

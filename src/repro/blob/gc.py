@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.blob.segment_tree import LeafNode, NodeKey, iter_reachable
+from repro.blob.segment_tree import LeafNode, NodeKey, iter_reachable_batched
 from repro.blob.store import LocalBlobStore
 from repro.errors import BlobError, ProviderUnavailable
 
@@ -86,11 +86,16 @@ def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> Gc
             if info.size == 0:
                 continue
             root = NodeKey(owner_blob, version, 0, info.root_span)
-            for node in iter_reachable(
-                store.metadata.get_node, root, key_resolver=resolver
+            # Level-batched traversal with the marked set as its prune
+            # list: subtrees shared with already-marked versions are
+            # neither re-fetched nor re-walked, and each level of the
+            # rest costs one batched metadata pass (DESIGN.md §9).
+            for node in iter_reachable_batched(
+                store.metadata.get_nodes,
+                root,
+                key_resolver=resolver,
+                skip=marked_nodes,
             ):
-                if node.key in marked_nodes:
-                    continue
                 marked_nodes.add(node.key)
                 if isinstance(node, LeafNode) and not node.block.is_zero:
                     marked_blocks.add(node.block.block_id)
@@ -121,6 +126,9 @@ def collect_garbage(store: LocalBlobStore, blob_id: str, retain_from: int) -> Gc
                     bucket.delete(key)
                 except ProviderUnavailable:
                     break  # went down mid-sweep; next pass finishes it
+                # Cache-invalidation path #2 (DESIGN.md §9): a cached
+                # descent must never resurrect a swept node.
+                store.metadata.invalidate_cached(key)
                 if key not in swept_keys:
                     swept_keys.add(key)
                     nodes_deleted += 1

@@ -118,6 +118,28 @@ class ParallelIOEngine:
             raise errors[0]
         return results  # type: ignore[return-value]
 
+    def map_settle(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> "list[tuple[Optional[R], Optional[Exception]]]":
+        """Apply *fn* to EVERY item concurrently; never fail fast.
+
+        Returns ``(result, error)`` pairs in input order, exactly one of
+        which is set per item.  Replicated writes and per-bucket batch
+        fetches need this shape: one dead replica must not abandon the
+        requests to its peers (``map``'s first-error abort is the wrong
+        policy there), yet each failure must stay attributable to its
+        item so the caller can fail over or record it.  Non-``Exception``
+        escapes (``KeyboardInterrupt``) still propagate via ``map``.
+        """
+
+        def settle(item: T) -> "tuple[Optional[R], Optional[Exception]]":
+            try:
+                return fn(item), None
+            except Exception as exc:
+                return None, exc
+
+        return self.map(settle, items)
+
     # -- opportunistic work -------------------------------------------------------
 
     def submit(self, fn: Callable[..., R], *args, **kwargs) -> "Future[R]":

@@ -6,17 +6,30 @@ distributed: they are stored on the metadata providers using a DHT"
 the tree-node typing and the immutability discipline: a node key is
 written at most once (writing the *identical* node twice is tolerated,
 so retries are idempotent).
+
+The facade is **batch-first** (DESIGN.md §9): ``get_nodes`` resolves a
+whole descent frontier in one DHT pass, ``put_patch`` publishes a
+write's entire patch through one conditional multi-put (the bucket
+enforces write-once-or-identical in that same hop — no get-then-put
+double round trip), and ``put_fillers`` force-publishes a tombstone's
+filler the same way.  Because nodes are immutable, the service also
+keeps a **versioned node cache**: an entry can only go stale through
+the three sanctioned mutation paths — force-put (tombstone filler
+superseding a dead write's nodes), GC deletion, and scrub healing —
+each of which invalidates the key.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import threading
+from collections import OrderedDict
+from typing import Iterable, Optional, Sequence
 
 from repro.blob.segment_tree import NodeKey, TreeNode
 from repro.dht.store import MISSING, DhtStore
-from repro.errors import VersionNotFound, WriteConflict
+from repro.errors import ReplicationError, VersionNotFound, WriteConflict
 
-__all__ = ["MetadataService", "agreed_value"]
+__all__ = ["MetadataService", "NodeCache", "agreed_value"]
 
 
 def agreed_value(values: dict[str, object]) -> Optional[TreeNode]:
@@ -37,11 +50,128 @@ def agreed_value(values: dict[str, object]) -> Optional[TreeNode]:
     return None
 
 
-class MetadataService:
-    """Typed facade over the metadata-provider DHT."""
+class NodeCache:
+    """LRU cache over immutable tree nodes (thread-safe).
 
-    def __init__(self, store: DhtStore):
+    Immutability makes this trivially coherent: a key is written once,
+    so a cached entry is the truth for as long as the key exists.  The
+    only ways a stored node can change are the three sanctioned
+    mutation paths (DESIGN.md §9) — force-put tombstone filler, GC
+    delete, scrub heal — and :class:`MetadataService` invalidates the
+    key on each.  The cache is read-through only: publishing does not
+    populate it, so a client never "reads" metadata the DHT could not
+    actually serve it (failure-injection semantics stay honest).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._nodes: "OrderedDict[NodeKey, TreeNode]" = OrderedDict()
+        #: Monotonic invalidation counter plus a bounded per-key record
+        #: of *when* each key was last invalidated, so an insert racing
+        #: an invalidation is rejected per key — a GC sweep invalidating
+        #: thousands of swept keys must not discard every concurrent
+        #: reader's in-flight insert for unrelated keys.
+        self._epoch = 0
+        self._floor = 0  # tokens below this predate an evicted record
+        self._invalidated: "OrderedDict[NodeKey, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: NodeKey) -> Optional[TreeNode]:
+        with self._lock:
+            node = self._nodes.get(key)
+            if node is None:
+                self.misses += 1
+                return None
+            self._nodes.move_to_end(key)
+            self.hits += 1
+            return node
+
+    def begin(self) -> int:
+        """Token to take *before* fetching from the DHT; pass it to
+        :meth:`put_if_fresh` so a fetch that raced a sanctioned
+        mutation (whose invalidation ran in between) can never install
+        the superseded value after the invalidation already happened —
+        the insert is simply skipped and the next lookup refetches."""
+        with self._lock:
+            return self._epoch
+
+    def put_if_fresh(self, key: NodeKey, node: TreeNode, token: int) -> bool:
+        """Insert *node* unless *key* was invalidated since *token*.
+
+        Per-key precision: invalidations of other keys do not reject
+        the insert.  A token so old that the key's record could already
+        have been evicted from the bounded invalidation log is rejected
+        conservatively (the next lookup just refetches).
+        """
+        with self._lock:
+            if token < self._floor:
+                return False
+            invalidated_at = self._invalidated.get(key)
+            if invalidated_at is not None and invalidated_at > token:
+                return False
+            self._nodes[key] = node
+            self._nodes.move_to_end(key)
+            while len(self._nodes) > self.capacity:
+                self._nodes.popitem(last=False)
+            return True
+
+    def invalidate(self, key: NodeKey) -> None:
+        with self._lock:
+            self._epoch += 1
+            self._invalidated[key] = self._epoch
+            self._invalidated.move_to_end(key)
+            # Bound the log; anything evicted raises the conservative
+            # floor for tokens that predate it.
+            while len(self._invalidated) > max(1024, self.capacity):
+                _, epoch = self._invalidated.popitem(last=False)
+                self._floor = max(self._floor, epoch)
+            if self._nodes.pop(key, None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._nodes.clear()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when the cache was never consulted)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "cache_size": len(self._nodes),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_invalidations": self.invalidations,
+            "cache_hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class MetadataService:
+    """Typed, batch-aware facade over the metadata-provider DHT.
+
+    Args:
+        store: the replicated DHT holding the tree nodes.
+        cache_nodes: capacity of the immutable node cache; 0 disables
+            caching entirely (every lookup goes to the DHT).
+    """
+
+    def __init__(self, store: DhtStore, cache_nodes: int = 0):
         self.store = store
+        self.cache: Optional[NodeCache] = (
+            NodeCache(cache_nodes) if cache_nodes > 0 else None
+        )
+
+    # -- publish paths -----------------------------------------------------------
 
     def put_node(self, node: TreeNode, force: bool = False) -> None:
         """Publish one tree node (immutable; identical re-put allowed).
@@ -50,42 +180,137 @@ class MetadataService:
         one sanctioned exception to immutability, used by the
         write-abort protocol to supersede the partially-published
         nodes of a dead write with the tombstone's filler nodes (the
-        two patches occupy exactly the same canonical key set).
+        two patches occupy exactly the same canonical key set).  A
+        force-put is one of the three cache-invalidation paths.
         """
-        key = node.key
         if force:
-            self.store.put(key, node)
+            self.store.put(node.key, node)
+            self.invalidate_cached(node.key)
             return
-        try:
-            existing = self.store.get(key)
-        except KeyError:
-            self.store.put(key, node)
-            return
-        if existing != node:
+        self.put_patch([node])
+
+    def put_patch(self, nodes: Sequence[TreeNode]) -> None:
+        """Publish a whole write's patch in one conditional multi-put.
+
+        Each owner bucket receives its share of the patch in a single
+        request and enforces write-once-or-identical in that same hop:
+        an identical re-put (an idempotent retry — which now also
+        re-feeds any replica the first attempt missed) is silent, a
+        different stored value raises :class:`WriteConflict`, and a
+        node no live replica could take raises
+        :class:`ReplicationError` — the same contract the scalar
+        get-then-put loop enforced in 2x the round trips.
+        """
+        result = self.store.multi_put(
+            [(node.key, node) for node in nodes], conditional=True
+        )
+        if result.conflicts:
+            key = next(iter(result.conflicts))
             raise WriteConflict(
                 f"metadata node {key} already exists with different content; "
                 "tree nodes are immutable by design"
             )
+        if result.unstored:
+            raise ReplicationError(
+                f"no live replica took {len(result.unstored)} metadata node(s), "
+                f"e.g. {result.unstored[0]}"
+            )
 
-    def put_patch(self, nodes: list[TreeNode]) -> None:
-        """Publish a whole write's patch (children-first order)."""
+    def put_fillers(self, nodes: Sequence[TreeNode]) -> list[NodeKey]:
+        """Force-publish a tombstone's filler patch, best effort.
+
+        One batched force multi-put per patch; every key is invalidated
+        from the cache (sanctioned mutation path #1).  Returns the keys
+        that reached no live replica — the abort/scrub caller records
+        them rather than failing, because the filler is usually being
+        published *during* the outage that doomed the original write.
+        """
+        result = self.store.multi_put(
+            [(node.key, node) for node in nodes], conditional=False
+        )
         for node in nodes:
-            self.put_node(node)
+            self.invalidate_cached(node.key)
+        return list(result.unstored)
+
+    # -- read paths --------------------------------------------------------------
 
     def get_node(self, key: NodeKey) -> TreeNode:
         """Fetch one tree node; VersionNotFound if it does not exist."""
+        token = None
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            token = self.cache.begin()
         try:
-            return self.store.get(key)
+            node = self.store.get(key)
         except KeyError:
             raise VersionNotFound(f"metadata node {key} not found") from None
+        if self.cache is not None:
+            self.cache.put_if_fresh(key, node, token)
+        return node
+
+    def get_nodes(self, keys: Sequence[NodeKey]) -> dict[NodeKey, TreeNode]:
+        """Fetch a whole frontier of nodes in one batched DHT pass.
+
+        Cache hits are served locally; only the misses travel, grouped
+        by owner bucket (one request per bucket, requests in parallel)
+        — a descent costs O(tree depth) round trips instead of O(nodes
+        visited).  Raises :class:`VersionNotFound` if any key does not
+        exist, matching :meth:`get_node`.
+        """
+        found: dict[NodeKey, TreeNode] = {}
+        misses: list[NodeKey] = []
+        for key in dict.fromkeys(keys):
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                found[key] = cached
+            else:
+                misses.append(key)
+        if misses:
+            token = self.cache.begin() if self.cache is not None else None
+            try:
+                fetched = self.store.multi_get(misses)
+            except KeyError as exc:
+                raise VersionNotFound(
+                    f"metadata node {exc.args[0]} not found"
+                ) from None
+            for key, node in fetched.items():
+                if self.cache is not None:
+                    self.cache.put_if_fresh(key, node, token)
+                found[key] = node
+        return found
 
     def has_node(self, key: NodeKey) -> bool:
-        """Existence check."""
-        return key in self.store
+        """Existence check: cache first, then a cheap membership probe
+        (no value transfer, no failover fetch-and-discard)."""
+        if self.cache is not None and self.cache.get(key) is not None:
+            return True
+        return self.store.contains(key)
 
     def delete_node(self, key: NodeKey) -> None:
-        """GC removal (idempotent)."""
+        """GC removal (idempotent; cache-invalidation path #2)."""
         self.store.delete(key)
+        self.invalidate_cached(key)
+
+    # -- cache control -----------------------------------------------------------
+
+    def invalidate_cached(self, key: NodeKey) -> None:
+        """Drop one key from the node cache (no-op without a cache).
+
+        Every mutation of a stored node must pass through here —
+        force-put filler, GC deletion, scrub healing — or a cached
+        descent could serve the superseded value forever.
+        """
+        if self.cache is not None:
+            self.cache.invalidate(key)
+
+    def stats(self) -> dict[str, object]:
+        """Wire + cache counters in one diagnostic dict (CLI surface)."""
+        out: dict[str, object] = dict(self.store.stats.snapshot())
+        if self.cache is not None:
+            out.update(self.cache.snapshot())
+        return out
 
     def load_by_provider(self) -> dict[str, int]:
         """Stored node count per metadata provider (balance diagnostics)."""
@@ -101,9 +326,18 @@ class MetadataService:
         """Per-online-replica view of one key (value or ``MISSING``)."""
         return self.store.replica_values(key)
 
+    def replica_nodes_many(
+        self, keys: Sequence[NodeKey]
+    ) -> dict[NodeKey, dict[str, object]]:
+        """Batched :meth:`replica_nodes`: one DHT pass answers a whole
+        chunk of the scrub's reconciliation sweep."""
+        return self.store.multi_replica_values(keys)
+
     def heal_replica(self, bucket_name: str, node: TreeNode) -> None:
-        """Overwrite one replica's copy with the authoritative node."""
+        """Overwrite one replica's copy with the authoritative node
+        (cache-invalidation path #3)."""
         self.store.put_replica(bucket_name, node.key, node)
+        self.invalidate_cached(node.key)
 
     def divergent_keys(
         self, keys: Optional[Iterable[NodeKey]] = None
@@ -114,10 +348,9 @@ class MetadataService:
         online replica of every (given) key holds an identical node —
         replica digests over any shared key set are then equal.
         """
-        chosen = self.all_node_keys() if keys is None else keys
+        chosen = list(self.all_node_keys() if keys is None else keys)
         divergent = []
-        for key in chosen:
-            values = self.replica_nodes(key)
+        for key, values in self.replica_nodes_many(chosen).items():
             if not values:
                 continue  # every owner offline; nothing to compare
             if agreed_value(values) is None or any(

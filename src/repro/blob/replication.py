@@ -123,8 +123,10 @@ def repair_leaf(store: LocalBlobStore, node: LeafNode, target: int) -> int:
         nonce=descriptor.nonce,
         seq=descriptor.seq,
     )
-    # Replica location is mutable metadata: replace the leaf in the DHT.
-    store.metadata.store.put(node.key, LeafNode(key=node.key, block=new_descriptor))
+    # Replica location is mutable metadata: replace the leaf in the DHT
+    # via the force-put path, which also invalidates the node cache —
+    # a cached pre-repair leaf would keep naming the dead replica set.
+    store.metadata.put_node(LeafNode(key=node.key, block=new_descriptor), force=True)
     return len(new_homes)
 
 

@@ -56,7 +56,7 @@ from repro.blob.segment_tree import (
     NodeKey,
     TreeNode,
     build_tombstone_patch,
-    iter_reachable,
+    iter_reachable_batched,
 )
 from repro.blob.version_manager import TombstoneSpec
 from repro.dht.store import MISSING
@@ -194,6 +194,11 @@ def _snapshot_control_plane(store: "LocalBlobStore") -> list[_BlobPlan]:
     return plans
 
 
+#: Keys per batched replica-enumeration pass in the reconciliation
+#: phase: large enough to amortize the round trip, small enough that a
+#: stop probe or throttle tick is never more than a chunk away.
+_RECONCILE_CHUNK = 64
+
 #: "Keep going?" probe threaded through every scrub loop; the daemon
 #: wires it to its stop event so shutdown never waits out a full pass.
 StopProbe = Callable[[], bool]
@@ -232,13 +237,18 @@ def _scrub_tombstones(
             block_size=spec.block_size,
             history=spec.history,
         )
+        # One batched DHT pass answers the whole patch's replica state
+        # (previously one enumeration round trip per filler node).
+        replica_maps = store.metadata.replica_nodes_many(
+            [node.key for node in patch]
+        )
         for node in patch:
             if should_stop():
                 return filler_keys
             filler_keys.add(node.key)
             if throttle is not None:
                 throttle.tick()
-            for bucket_name, value in store.metadata.replica_nodes(node.key).items():
+            for bucket_name, value in replica_maps[node.key].items():
                 if value is MISSING or value != node:
                     if _heal(store, bucket_name, node, errors):
                         counters["filler_republished"] += 1
@@ -293,10 +303,15 @@ def _scrub_metadata_replicas(
     errors: list[str],
     should_stop: StopProbe,
 ) -> None:
-    """Phase 2: converge every remaining key's online replica set."""
+    """Phase 2: converge every remaining key's online replica set.
+
+    Keys that survive the cheap skip filters are examined in batches:
+    one :meth:`~repro.blob.metadata.MetadataService.replica_nodes_many`
+    pass answers a whole chunk (previously one replica enumeration per
+    key), while healing stays per-replica and best-effort.
+    """
+    eligible: list[NodeKey] = []
     for key in sorted(store.metadata.all_node_keys(), key=repr):
-        if should_stop():
-            return
         if key in skip_keys:
             continue
         plan = plans.get(key.blob_id)
@@ -308,34 +323,44 @@ def _scrub_metadata_replicas(
         if key.version < plan.gc_floor:
             counters["skipped_gc_floor"] += 1
             continue  # below the floor: GC's to delete, never ours to heal
-        values = store.metadata.replica_nodes(key)
-        if not values:
-            continue  # every owner offline; nothing to compare
-        counters["nodes_checked"] += 1
-        if throttle is not None:
-            throttle.tick()
-        if all(v is MISSING for v in values.values()):
-            # The only holder went offline since enumeration: not a
-            # conflict, just nothing to heal from until it recovers.
-            errors.append(f"no online replica holds {key}; recheck after recovery")
-            continue
-        authority = agreed_value(values)
-        divergent = authority is None
-        if divergent:
-            authority = _reconcile_leaf_divergence(store, values)
-            if authority is None:
-                errors.append(
-                    f"unreconcilable divergence at {key}: "
-                    f"{sorted(values, key=repr)} disagree on immutable content"
-                )
+        eligible.append(key)
+
+    for start in range(0, len(eligible), _RECONCILE_CHUNK):
+        if should_stop():
+            return
+        chunk = eligible[start : start + _RECONCILE_CHUNK]
+        replica_maps = store.metadata.replica_nodes_many(chunk)
+        for key in chunk:
+            if should_stop():
+                return
+            values = replica_maps[key]
+            if not values:
+                continue  # every owner offline; nothing to compare
+            counters["nodes_checked"] += 1
+            if throttle is not None:
+                throttle.tick()
+            if all(v is MISSING for v in values.values()):
+                # The only holder went offline since enumeration: not a
+                # conflict, just nothing to heal from until it recovers.
+                errors.append(f"no online replica holds {key}; recheck after recovery")
                 continue
-        for bucket_name, value in values.items():
-            if value is MISSING or value != authority:
-                if _heal(store, bucket_name, authority, errors):
-                    if divergent:
-                        counters["conflicts_resolved"] += 1
-                    else:
-                        counters["replicas_healed"] += 1
+            authority = agreed_value(values)
+            divergent = authority is None
+            if divergent:
+                authority = _reconcile_leaf_divergence(store, values)
+                if authority is None:
+                    errors.append(
+                        f"unreconcilable divergence at {key}: "
+                        f"{sorted(values, key=repr)} disagree on immutable content"
+                    )
+                    continue
+            for bucket_name, value in values.items():
+                if value is MISSING or value != authority:
+                    if _heal(store, bucket_name, authority, errors):
+                        if divergent:
+                            counters["conflicts_resolved"] += 1
+                        else:
+                            counters["replicas_healed"] += 1
 
 
 def _scrub_blocks(
@@ -365,13 +390,17 @@ def _scrub_blocks(
             continue
         root = NodeKey(info.blob_id, info.version, 0, info.root_span)
         try:
-            nodes = [
-                node
-                for node in iter_reachable(
-                    store.metadata.get_node, root, key_resolver=resolver
+            # Level-batched walk with the shared seen-set as its prune
+            # list: subtrees already checked under another version are
+            # neither re-fetched nor re-walked.
+            nodes = list(
+                iter_reachable_batched(
+                    store.metadata.get_nodes,
+                    root,
+                    key_resolver=resolver,
+                    skip=seen,
                 )
-                if node.key not in seen
-            ]
+            )
         except (BlobError, ProviderError) as exc:
             # A subtree on an offline bucket: the tree heals when the
             # bucket recovers (phase 2 of a later pass); record and go on.

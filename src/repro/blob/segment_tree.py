@@ -48,7 +48,9 @@ __all__ = [
     "build_tombstone_patch",
     "DescentPlan",
     "collect_blocks",
+    "collect_blocks_batched",
     "iter_reachable",
+    "iter_reachable_batched",
 ]
 
 
@@ -484,6 +486,29 @@ def collect_blocks(
     return plan.blocks()
 
 
+def collect_blocks_batched(
+    fetch_many: Callable[[list[NodeKey]], dict[NodeKey, TreeNode]],
+    root_key: NodeKey,
+    lo: int,
+    hi: int,
+    key_resolver: Optional[Callable[[NodeKey], NodeKey]] = None,
+) -> list[AnyBlockDescriptor]:
+    """Level-parallel driver over :class:`DescentPlan`.
+
+    Each frontier — one tree level, plus any redirect targets the
+    previous level surfaced — is resolved through *fetch_many* in a
+    single batched metadata pass, so the whole descent costs O(tree
+    depth) round trips instead of O(nodes visited) (DESIGN.md §9).
+    """
+    plan = DescentPlan(root_key, lo, hi, key_resolver=key_resolver)
+    while not plan.done:
+        frontier = list(dict.fromkeys(plan.take_frontier()))
+        nodes = fetch_many(frontier)
+        for key in frontier:
+            plan.feed(key, nodes[key])
+    return plan.blocks()
+
+
 def iter_reachable(
     fetch: Callable[[NodeKey], TreeNode],
     root_key: NodeKey,
@@ -499,3 +524,39 @@ def iter_reachable(
             stack.extend(resolve(child) for child in node.children())
         elif isinstance(node, RedirectLeaf):
             stack.append(resolve(node.target_key))
+
+
+def iter_reachable_batched(
+    fetch_many: Callable[[list[NodeKey]], dict[NodeKey, TreeNode]],
+    root_key: NodeKey,
+    key_resolver: Optional[Callable[[NodeKey], NodeKey]] = None,
+    skip: Optional[set[NodeKey]] = None,
+) -> Iterable[TreeNode]:
+    """:func:`iter_reachable`, one batched fetch per tree level.
+
+    *skip* keys are neither fetched nor descended into: traversals that
+    dedupe shared subtrees (GC marking, the scrub's block sweep) pass
+    their seen-set, which both avoids re-yielding a node AND prunes its
+    whole subtree — a node already marked had its subtree marked too.
+    The caller may grow *skip* while consuming the iterator; keys
+    already fetched for the current level are still yielded.
+    """
+    resolve = key_resolver if key_resolver is not None else (lambda k: k)
+    frontier = [resolve(root_key)]
+    while frontier:
+        level = [
+            key
+            for key in dict.fromkeys(frontier)
+            if skip is None or key not in skip
+        ]
+        if not level:
+            return
+        nodes = fetch_many(level)
+        frontier = []
+        for key in level:
+            node = nodes[key]
+            yield node
+            if isinstance(node, InnerNode):
+                frontier.extend(resolve(child) for child in node.children())
+            elif isinstance(node, RedirectLeaf):
+                frontier.append(resolve(node.target_key))

@@ -54,7 +54,6 @@ from repro.blob.block import (
     BlockDescriptor,
     BytesPayload,
     Payload,
-    SyntheticPayload,
     concat,
 )
 from repro.blob.data_provider import DataProviderCore
@@ -67,6 +66,7 @@ from repro.blob.segment_tree import (
     build_patch,
     build_tombstone_patch,
     collect_blocks,
+    collect_blocks_batched,
 )
 from repro.blob.version_manager import (
     SnapshotInfo,
@@ -126,6 +126,19 @@ class LocalBlobStore:
         metadata_replication: DHT replica count for tree nodes.
         placement: policy name or instance (default BlobSeer round-robin).
         seed: seed for any stochastic policy (random placement).
+        io_workers: scatter-gather pool threads (0 = inline I/O).
+        provider_latency: simulated service time per data-provider op.
+        metadata_latency: simulated service time per metadata-bucket
+            *request* — a batched multi-get/put pays it once per bucket
+            per round, which is what makes the batched pipeline's
+            round-trip saving visible in wall-clock benchmarks.
+        metadata_cache_nodes: capacity of the immutable node cache
+            (DESIGN.md §9); 0 disables it.  Read-through only, so a
+            failure injected before the first read stays observable.
+        metadata_batching: route descents through the level-batched
+            metadata pipeline (O(tree-depth) round trips).  ``False``
+            keeps the historical one-RPC-per-node descent — the
+            ablation baseline the benchmarks compare against.
     """
 
     def __init__(
@@ -139,6 +152,9 @@ class LocalBlobStore:
         seed: int = 0,
         io_workers: int = 0,
         provider_latency: float = 0.0,
+        metadata_latency: float = 0.0,
+        metadata_cache_nodes: int = 1024,
+        metadata_batching: bool = True,
     ):
         if isinstance(data_providers, int):
             data_providers = [f"provider-{i:03d}" for i in range(data_providers)]
@@ -150,6 +166,7 @@ class LocalBlobStore:
         if io_workers < 0:
             raise ValueError(f"io_workers must be >= 0, got {io_workers}")
         self.replication = replication
+        self.metadata_batching = metadata_batching
         self.version_manager = VersionManagerCore()
         self.provider_manager = ProviderManagerCore(
             policy=placement, rng=np.random.default_rng(seed)
@@ -158,12 +175,20 @@ class LocalBlobStore:
         for name in data_providers:
             self.provider_manager.register(name)
             self.providers[name] = DataProviderCore(name, latency=provider_latency)
-        self.metadata = MetadataService(
-            DhtStore(list(metadata_providers), replication=metadata_replication)
-        )
         #: Shared scatter-gather pool; ``None`` means inline (serial) I/O.
+        #: Created before the metadata service so the DHT can fan one
+        #: batched round's per-bucket requests over the same pool.
         self.io_engine: Optional[ParallelIOEngine] = (
             ParallelIOEngine(io_workers) if io_workers > 0 else None
+        )
+        self.metadata = MetadataService(
+            DhtStore(
+                list(metadata_providers),
+                replication=metadata_replication,
+                latency=metadata_latency,
+                engine=self.io_engine,
+            ),
+            cache_nodes=metadata_cache_nodes,
         )
         self._nonce = itertools.count(1)
         self._lock = threading.Lock()
@@ -490,13 +515,14 @@ class LocalBlobStore:
             block_size=spec.block_size,
             history=spec.history,
         )
-        unpublished: list[NodeKey] = []
-        for node in patch:
-            try:
-                self.metadata.put_node(node, force=True)
-            except (ProviderError, ReplicationError):
-                unpublished.append(node.key)
-        return unpublished
+        try:
+            return self.metadata.put_fillers(patch)
+        except (ProviderError, ReplicationError):
+            # The batched force-put reports per-key leftovers instead of
+            # raising; anything that still escapes (e.g. a whole-ring
+            # failure surfaced by a single-node patch) means nothing
+            # landed.
+            return [node.key for node in patch]
 
     def republish_tombstone(self, blob_id: str, version: int) -> list[NodeKey]:
         """Re-publish a tombstone's filler metadata (idempotent).
@@ -625,6 +651,14 @@ class LocalBlobStore:
         lo = offset // info.block_size
         hi = -(-(offset + size) // info.block_size)
         root = NodeKey(info.blob_id, info.version, 0, info.root_span)
+        if self.metadata_batching:
+            # Level-parallel descent: each frontier resolves in one
+            # batched metadata pass — O(tree depth) round trips, with
+            # the per-bucket requests fanned over the I/O engine.
+            return collect_blocks_batched(
+                self.metadata.get_nodes, root, lo, hi,
+                key_resolver=self.key_resolver(),
+            )
         return collect_blocks(
             self.metadata.get_node, root, lo, hi, key_resolver=self.key_resolver()
         )

@@ -12,6 +12,11 @@ Exercise the anti-entropy maintenance pass (DESIGN.md §8)::
     repro scrub                # chaos demo: outage + abort, then heal
     repro scrub --buckets 16 --replication 2 --writes 8
 
+Demonstrate the batched metadata pipeline (DESIGN.md §9)::
+
+    repro metadata             # sequential vs batched descent, with stats
+    repro metadata --blocks 96 --latency 0.002
+
 ``python -m repro.cli ...`` works identically.
 """
 
@@ -82,6 +87,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="throttle the scrub pass (default: unpaced)",
+    )
+
+    metadata = sub.add_parser(
+        "metadata",
+        help=(
+            "batched-metadata demo: the same read workload through the "
+            "sequential per-node descent and the batched pipeline, with "
+            "round-trip counts and cache hit rates"
+        ),
+    )
+    metadata.add_argument(
+        "--blocks", type=int, default=48, help="blocks written before reading"
+    )
+    metadata.add_argument(
+        "--buckets", type=int, default=8, help="metadata buckets"
+    )
+    metadata.add_argument(
+        "--latency",
+        type=float,
+        default=2e-3,
+        help="simulated metadata service time per bucket request (s)",
+    )
+    metadata.add_argument(
+        "--io-workers", type=int, default=8, help="parallel I/O engine threads"
+    )
+    metadata.add_argument(
+        "--reads", type=int, default=3, help="whole-BLOB reads per configuration"
     )
     return parser
 
@@ -184,6 +216,9 @@ def _run_scrub_demo(args) -> int:
     print("\nscrub report after recovery:")
     for name, value in sorted(dataclasses.asdict(report).items()):
         print(f"  {name} = {value!r}")
+    print("metadata I/O stats (DESIGN.md §9 batched pipeline):")
+    for name, value in sorted(store.metadata.stats().items()):
+        print(f"  {name} = {value!r}")
 
     failures = []
     divergent = store.metadata.divergent_keys()
@@ -209,6 +244,92 @@ def _run_scrub_demo(args) -> int:
     return 0
 
 
+def _run_metadata_demo(args) -> int:
+    """Drive one read workload through both descent pipelines.
+
+    Builds two otherwise-identical stores with simulated metadata
+    service latency — one descending the segment tree one blocking
+    ``get_node`` at a time (the pre-refactor behavior, kept as the
+    ablation baseline), one using the level-batched pipeline plus the
+    immutable node cache (DESIGN.md §9) — and reads the same BLOB back.
+    Reports wall time, metadata round trips, and cache hit rate, and
+    fails if batching does not deliver its O(tree depth) bound.
+    """
+    from repro.blob import LocalBlobStore
+
+    bs = 1024
+    nblocks = max(args.blocks, 2)
+    depth = 1
+    while (1 << (depth - 1)) < nblocks:
+        depth += 1
+
+    def measure(label: str, **store_kwargs):
+        store = LocalBlobStore(
+            data_providers=4,
+            metadata_providers=args.buckets,
+            block_size=bs,
+            io_workers=args.io_workers,
+            metadata_latency=args.latency,
+            **store_kwargs,
+        )
+        blob = store.create()
+        store.append(blob, b"m" * (nblocks * bs))
+        stats = store.metadata.store.stats
+        stats.reset()
+        first_trips = None
+        started = time.time()
+        for i in range(max(args.reads, 1)):
+            before = stats.snapshot()["round_trips"]
+            data = store.read(blob)
+            if first_trips is None:
+                first_trips = stats.snapshot()["round_trips"] - before
+            assert data == b"m" * (nblocks * bs), "read corrupted"
+        elapsed = time.time() - started
+        out = dict(store.metadata.stats())
+        store.close()
+        print(
+            f"  {label:<28} {elapsed:7.3f}s wall   "
+            f"{first_trips:4d} round trips (cold read)   "
+            f"hit rate {out.get('cache_hit_rate', 0.0):.0%}"
+        )
+        return elapsed, first_trips
+
+    print(
+        f"reading {nblocks} blocks x{max(args.reads, 1)} over {args.buckets} "
+        f"buckets at {args.latency * 1e3:.1f}ms/request (tree depth {depth}):"
+    )
+    seq_time, seq_trips = measure(
+        "sequential descent", metadata_batching=False, metadata_cache_nodes=0
+    )
+    bat_time, bat_trips = measure("batched descent + cache")
+
+    failures = []
+    # The O(tree depth) bound, with slack for the root round and the
+    # version-manager-free levels a partial range may add.
+    if bat_trips > depth + 2:
+        failures.append(
+            f"batched cold read took {bat_trips} round trips, "
+            f"expected <= depth + 2 = {depth + 2}"
+        )
+    if seq_trips <= bat_trips:
+        failures.append(
+            f"sequential descent used {seq_trips} round trips, not more "
+            f"than the batched pipeline's {bat_trips}"
+        )
+    if bat_time >= seq_time:
+        failures.append(
+            f"batched pipeline not faster ({bat_time:.3f}s vs {seq_time:.3f}s)"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: O(nodes)={seq_trips} -> O(depth)={bat_trips} metadata round "
+        f"trips per cold read, {seq_time / bat_time:.1f}x faster wall clock"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -220,6 +341,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "scrub":
         return _run_scrub_demo(args)
+
+    if args.command == "metadata":
+        return _run_metadata_demo(args)
 
     scale = FULL if args.full else QUICK
     which = sorted(ALL_FIGURES) if args.which == "all" else [args.which]

@@ -1,6 +1,13 @@
 """Distributed hash table substrate (metadata-provider storage)."""
 
 from repro.dht.ring import HashRing, stable_hash
-from repro.dht.store import Bucket, DhtStore
+from repro.dht.store import Bucket, DhtStats, DhtStore, MultiPutResult
 
-__all__ = ["HashRing", "stable_hash", "Bucket", "DhtStore"]
+__all__ = [
+    "HashRing",
+    "stable_hash",
+    "Bucket",
+    "DhtStats",
+    "DhtStore",
+    "MultiPutResult",
+]

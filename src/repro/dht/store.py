@@ -5,17 +5,36 @@ a set of named buckets (one per provider), a :class:`HashRing` deciding
 key placement, and write/read paths that tolerate bucket failures up to
 the replication level.  The simulated deployment re-uses the same ring
 logic but puts each bucket behind an RPC server.
+
+Two access granularities exist side by side:
+
+* **scalar** ``put``/``get``/``delete`` — one key, one round trip per
+  replica contacted;
+* **batched** ``multi_get``/``multi_put``/``multi_replica_values`` —
+  many keys resolved against their owner buckets in one pass: keys are
+  grouped by bucket, each bucket is asked once per round, and the
+  per-bucket requests of a round run in parallel when an engine is
+  attached, so the whole round costs one wall-clock round trip.
+  Failover semantics match the scalar ops key for key (paper §III-A.3:
+  metadata must never serialize readers on a hop).
+
+``stats`` counts wall-clock round trips (a batched round of parallel
+bucket requests counts once) so callers can verify the O(tree-depth)
+metadata cost of a batched descent.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Hashable, Iterable, Iterator, Optional
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Optional, Sequence
 
 from repro.dht.ring import HashRing
 from repro.errors import ProviderUnavailable, ReplicationError
 
-__all__ = ["Bucket", "DhtStore", "MISSING"]
+__all__ = ["Bucket", "DhtStore", "DhtStats", "MultiPutResult", "MISSING"]
 
 
 class _Missing:
@@ -28,33 +47,176 @@ class _Missing:
 #: Replica-enumeration sentinel: the bucket is online but lacks the key.
 MISSING = _Missing()
 
+#: Internal absent-value sentinel for conditional puts (values may be None).
+_ABSENT = _Missing()
+
+
+class DhtStats:
+    """Wire-level counters (thread-safe).
+
+    ``round_trips`` counts *wall-clock* waits on the DHT: every scalar
+    bucket access is one, while one round of a batched operation — all
+    its per-bucket requests run in parallel — also counts one, no
+    matter how many keys or buckets it touched.  ``bucket_ops`` counts
+    the individual bucket requests behind those waits.  The gap between
+    the two is exactly what batching buys.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.round_trips = 0
+        self.bucket_ops = 0
+        self.keys_fetched = 0
+        self.keys_stored = 0
+
+    def record(
+        self,
+        round_trips: int = 0,
+        bucket_ops: int = 0,
+        keys_fetched: int = 0,
+        keys_stored: int = 0,
+    ) -> None:
+        with self._lock:
+            self.round_trips += round_trips
+            self.bucket_ops += bucket_ops
+            self.keys_fetched += keys_fetched
+            self.keys_stored += keys_stored
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "round_trips": self.round_trips,
+                "bucket_ops": self.bucket_ops,
+                "keys_fetched": self.keys_fetched,
+                "keys_stored": self.keys_stored,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.round_trips = 0
+            self.bucket_ops = 0
+            self.keys_fetched = 0
+            self.keys_stored = 0
+
+
+@dataclass(frozen=True)
+class MultiPutResult:
+    """Outcome of one :meth:`DhtStore.multi_put`.
+
+    ``conflicts`` maps keys whose conditional put found a *different*
+    stored value to that existing value (identical re-puts are silent —
+    idempotent-retry semantics, enforced in the bucket's single hop).
+    ``unstored`` lists keys that reached **no** live replica; the
+    caller decides whether that is fatal (a write publish) or merely
+    reportable (a best-effort tombstone filler).
+    """
+
+    conflicts: dict[Hashable, object]
+    unstored: tuple[Hashable, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts and not self.unstored
+
 
 class Bucket:
-    """One provider's local slice of the DHT: a dict with an on/off switch."""
+    """One provider's local slice of the DHT: a dict with an on/off switch.
 
-    def __init__(self, name: str):
+    Args:
+        name: bucket identity.
+        latency: simulated seconds of service time charged once per
+            request — scalar ops pay it per key, the ``*_many`` ops pay
+            it once per batch, which is precisely the round-trip saving
+            the batched pipeline exists to exploit.
+    """
+
+    def __init__(self, name: str, latency: float = 0.0):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
         self.name = name
         self.online = True
+        self.latency = latency
         self._items: dict[Hashable, object] = {}
+
+    def _service_delay(self) -> None:
+        if self.latency:
+            time.sleep(self.latency)
+
+    def _check_online(self) -> None:
+        if not self.online:
+            raise ProviderUnavailable(f"bucket {self.name} is down")
 
     def put(self, key: Hashable, value: object) -> None:
         """Store *value* (immutable overwrite-forbidden discipline is the
         caller's concern; the bucket itself is a plain map)."""
-        if not self.online:
-            raise ProviderUnavailable(f"bucket {self.name} is down")
+        self._check_online()
+        self._service_delay()
         self._items[key] = value
 
     def get(self, key: Hashable) -> object:
         """Fetch the value for *key*; KeyError if absent."""
-        if not self.online:
-            raise ProviderUnavailable(f"bucket {self.name} is down")
+        self._check_online()
+        self._service_delay()
         return self._items[key]
 
     def delete(self, key: Hashable) -> None:
         """Remove *key* if present (idempotent)."""
-        if not self.online:
-            raise ProviderUnavailable(f"bucket {self.name} is down")
+        self._check_online()
+        self._service_delay()
         self._items.pop(key, None)
+
+    # -- batched surface ----------------------------------------------------------
+
+    def get_many(self, keys: Sequence[Hashable]) -> dict[Hashable, object]:
+        """Fetch every present key in one request (one service delay).
+
+        Absent keys are simply omitted — the caller's failover logic
+        needs "which keys this replica lacks", not an exception per key.
+        """
+        self._check_online()
+        self._service_delay()
+        items = self._items
+        return {key: items[key] for key in keys if key in items}
+
+    def put_many(
+        self,
+        items: Sequence[tuple[Hashable, object]],
+        conditional: bool = False,
+    ) -> tuple[dict[Hashable, object], list[Hashable]]:
+        """Store many pairs in one request (one service delay).
+
+        With ``conditional=True`` each key is stored only if absent;
+        a present-and-equal value is a silent no-op (idempotent retry)
+        and a present-but-different value is left untouched and
+        reported in the returned ``{key: existing}`` conflict map — the
+        check-and-put happens in this single hop, not as a get-then-put
+        double round trip.  Also returns the keys this call *newly*
+        stored, so a caller whose conditional batch conflicted on a
+        peer replica can withdraw the rejected value from the replicas
+        that (being behind) accepted it.
+        """
+        self._check_online()
+        self._service_delay()
+        conflicts: dict[Hashable, object] = {}
+        stored: list[Hashable] = []
+        for key, value in items:
+            if conditional:
+                existing = self._items.get(key, _ABSENT)
+                if existing is _ABSENT:
+                    self._items[key] = value
+                    stored.append(key)
+                elif existing != value:
+                    conflicts[key] = existing
+            else:
+                self._items[key] = value
+                stored.append(key)
+        return conflicts, stored
+
+    def peek_many(self, keys: Sequence[Hashable]) -> dict[Hashable, object]:
+        """Batched :meth:`peek`: present keys only, no online gate."""
+        items = self._items
+        return {key: items[key] for key in keys if key in items}
 
     def __contains__(self, key: Hashable) -> bool:
         return self.online and key in self._items
@@ -98,20 +260,54 @@ class DhtStore:
         bucket_names: provider names (20 metadata providers in the
             paper's microbenchmark deployment).
         replication: copies per key; reads fail over between them.
+        latency: simulated per-request service time on every bucket
+            (see :class:`Bucket`); makes batching observable in
+            wall-clock benchmarks.
+        engine: optional :class:`~repro.blob.io_engine.ParallelIOEngine`
+            used to fan one batched round's per-bucket requests out in
+            parallel.  ``None`` runs them inline (still one *logical*
+            round trip; the accounting is identical).
     """
 
-    def __init__(self, bucket_names: list[str], replication: int = 1, vnodes: int = 64):
+    def __init__(
+        self,
+        bucket_names: list[str],
+        replication: int = 1,
+        vnodes: int = 64,
+        latency: float = 0.0,
+        engine=None,
+    ):
         if not bucket_names:
             raise ValueError("DhtStore needs at least one bucket")
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
         self.replication = replication
-        self.buckets = {name: Bucket(name) for name in bucket_names}
+        self.buckets = {name: Bucket(name, latency=latency) for name in bucket_names}
         self.ring = HashRing(bucket_names, vnodes=vnodes)
+        self.engine = engine
+        self.stats = DhtStats()
 
     def owners(self, key: Hashable) -> list[str]:
         """Replica set (bucket names) responsible for *key*."""
         return self.ring.replicas(key, self.replication)
+
+    def _settle(
+        self, fn: Callable, groups: Sequence
+    ) -> list[tuple[object, Optional[Exception]]]:
+        """Run one batched round's per-bucket requests, in parallel when
+        an engine is attached, capturing per-bucket failures so one dead
+        bucket can never abort the other buckets' work."""
+        if self.engine is not None and len(groups) > 1:
+            return self.engine.map_settle(fn, groups)
+        results = []
+        for group in groups:
+            try:
+                results.append((fn(group), None))
+            except Exception as exc:
+                results.append((None, exc))
+        return results
+
+    # -- scalar ops ---------------------------------------------------------------
 
     def put(self, key: Hashable, value: object) -> None:
         """Write to every live replica; fails if none is reachable."""
@@ -121,37 +317,239 @@ class DhtStore:
             if bucket.online:
                 bucket.put(key, value)
                 wrote += 1
+        self.stats.record(round_trips=max(wrote, 1), bucket_ops=wrote, keys_stored=1)
         if wrote == 0:
             raise ReplicationError(f"no live replica for key {key!r}")
 
     def get(self, key: Hashable) -> object:
         """Read from the first live replica holding the key."""
         missing = False
-        for name in self.owners(key):
-            bucket = self.buckets[name]
-            if not bucket.online:
-                continue
-            try:
-                return bucket.get(key)
-            except KeyError:
-                missing = True
+        tried = 0
+        try:
+            for name in self.owners(key):
+                bucket = self.buckets[name]
+                if not bucket.online:
+                    continue
+                tried += 1
+                try:
+                    return bucket.get(key)
+                except KeyError:
+                    missing = True
+        finally:
+            self.stats.record(
+                round_trips=max(tried, 1), bucket_ops=tried, keys_fetched=1
+            )
         if missing:
             raise KeyError(key)
         raise ProviderUnavailable(f"all replicas for {key!r} are down")
 
     def delete(self, key: Hashable) -> None:
         """Delete from all live replicas (used by the GC sweep)."""
+        touched = 0
         for name in self.owners(key):
             bucket = self.buckets[name]
             if bucket.online:
                 bucket.delete(key)
+                touched += 1
+        self.stats.record(round_trips=max(touched, 1), bucket_ops=touched)
+
+    def contains(self, key: Hashable) -> bool:
+        """Cheap existence probe: membership checks against the owner
+        replicas, no value transfer and no failover ``get`` (the scalar
+        read path fetches and discards a whole node to answer this)."""
+        self.stats.record(round_trips=1, bucket_ops=1)
+        return any(key in self.buckets[name] for name in self.owners(key))
 
     def __contains__(self, key: Hashable) -> bool:
-        try:
-            self.get(key)
-            return True
-        except (KeyError, ProviderUnavailable):
-            return False
+        return self.contains(key)
+
+    # -- batched ops --------------------------------------------------------------
+
+    def multi_get(self, keys: Iterable[Hashable]) -> dict[Hashable, object]:
+        """Resolve many keys against their owner buckets in one pass.
+
+        Round *r* asks each unresolved key's *r*-th replica, grouping
+        keys by bucket so every bucket is contacted at most once per
+        round (requests of a round run in parallel — one wall-clock
+        round trip).  Keys served by their first replica finish in
+        round 0; only stragglers (offline or lagging replicas) pay
+        failover rounds, exactly mirroring the scalar ``get`` chain.
+
+        Raises ``KeyError`` for a key some online replica was asked
+        about but none holds, ``ProviderUnavailable`` for a key whose
+        every replica is down — the scalar semantics, key for key.
+        """
+        ordered = list(dict.fromkeys(keys))
+        if not ordered:
+            return {}
+        results: dict[Hashable, object] = {}
+        seen_missing: set[Hashable] = set()
+        remaining = ordered
+        # The ring hands out at most one replica per distinct bucket, so
+        # every key's owner chain is exactly this long (the scalar path
+        # iterates the chain directly and needs no such cap).
+        rounds = min(self.replication, len(self.buckets))
+        for attempt in range(rounds):
+            if not remaining:
+                break
+            by_bucket: dict[str, list[Hashable]] = {}
+            for key in remaining:
+                by_bucket.setdefault(self.owners(key)[attempt], []).append(key)
+            groups = list(by_bucket.items())
+            self.stats.record(
+                round_trips=1, bucket_ops=len(groups), keys_fetched=len(remaining)
+            )
+
+            def fetch(group):
+                name, bucket_keys = group
+                return self.buckets[name].get_many(bucket_keys)
+
+            retry: list[Hashable] = []
+            for (name, bucket_keys), (found, error) in zip(
+                groups, self._settle(fetch, groups)
+            ):
+                if error is not None:
+                    if isinstance(error, ProviderUnavailable):
+                        retry.extend(bucket_keys)  # fail over to the next replica
+                        continue
+                    raise error
+                for key in bucket_keys:
+                    if key in found:
+                        results[key] = found[key]
+                    else:
+                        seen_missing.add(key)
+                        retry.append(key)
+            remaining = retry
+        if remaining:
+            for key in remaining:
+                if key in seen_missing:
+                    raise KeyError(key)
+            raise ProviderUnavailable(
+                f"all replicas down for {len(remaining)} key(s), "
+                f"e.g. {remaining[0]!r}"
+            )
+        return results
+
+    def multi_put(
+        self,
+        items: Sequence[tuple[Hashable, object]],
+        conditional: bool = False,
+    ) -> MultiPutResult:
+        """Write many pairs to their replica sets in one parallel pass.
+
+        Every pair goes to every live owner replica; each bucket
+        receives its whole share in a single request.  With
+        ``conditional=True`` the bucket enforces write-once-or-identical
+        in that same hop (see :meth:`Bucket.put_many`) — no get-then-put
+        double round trip, and per-bucket atomicity for the batch.
+
+        Never raises for unreachable keys: the :class:`MultiPutResult`
+        reports conflicts and fully-unstored keys, and the caller
+        applies its own policy (a write publish fails, a best-effort
+        filler publish records and moves on).
+
+        A key whose conditional put conflicts on *any* replica is
+        withdrawn from the replicas this call newly stored it on: a
+        rejected publish must leave the replica set exactly as it found
+        it (the old get-then-put path rejected without writing; a
+        lagging replica must not end up holding the rejected value).
+        """
+        pairs = list(items)
+        if not pairs:
+            return MultiPutResult(conflicts={}, unstored=())
+        by_bucket: dict[str, list[tuple[Hashable, object]]] = {}
+        for key, value in pairs:
+            for name in self.owners(key):
+                by_bucket.setdefault(name, []).append((key, value))
+        groups = list(by_bucket.items())
+        self.stats.record(
+            round_trips=1, bucket_ops=len(groups), keys_stored=len(pairs)
+        )
+
+        def put(group):
+            name, kvs = group
+            return self.buckets[name].put_many(kvs, conditional=conditional)
+
+        touched: dict[Hashable, int] = {key: 0 for key, _ in pairs}
+        conflicts: dict[Hashable, object] = {}
+        stored_by_bucket: dict[str, list[Hashable]] = {}
+        for (name, kvs), (outcome, error) in zip(
+            groups, self._settle(put, groups)
+        ):
+            if error is not None:
+                if isinstance(error, ProviderUnavailable):
+                    continue  # this replica misses the batch; others may land
+                raise error
+            bucket_conflicts, stored = outcome
+            stored_by_bucket[name] = stored
+            for key, _ in kvs:
+                touched[key] += 1
+            for key, existing in bucket_conflicts.items():
+                conflicts.setdefault(key, existing)
+        if conflicts:
+            self._withdraw(conflicts, stored_by_bucket)
+        unstored = tuple(key for key, count in touched.items() if count == 0)
+        return MultiPutResult(conflicts=conflicts, unstored=unstored)
+
+    def _withdraw(
+        self,
+        conflicts: dict[Hashable, object],
+        stored_by_bucket: dict[str, list[Hashable]],
+    ) -> None:
+        """Undo the fresh stores of conflicted keys (best effort: a
+        bucket dying mid-withdrawal leaves debris for the scrub, which
+        converges the replica set on the established value anyway)."""
+        withdrew = 0
+        for name, stored in stored_by_bucket.items():
+            doomed = [key for key in stored if key in conflicts]
+            if not doomed:
+                continue
+            withdrew += 1
+            try:
+                bucket = self.buckets[name]
+                for key in doomed:
+                    bucket.delete(key)
+            except ProviderUnavailable:
+                continue
+        if withdrew:
+            self.stats.record(round_trips=1, bucket_ops=withdrew)
+
+    def multi_replica_values(
+        self, keys: Iterable[Hashable]
+    ) -> dict[Hashable, dict[str, object]]:
+        """Batched :meth:`replica_values`: one pass over the owner
+        buckets answers every key (the scrub's reconciliation phases
+        previously paid one enumeration per key)."""
+        ordered = list(dict.fromkeys(keys))
+        if not ordered:
+            return {}
+        by_bucket: dict[str, list[Hashable]] = {}
+        online_owners: dict[Hashable, list[str]] = {}
+        for key in ordered:
+            online = [n for n in self.owners(key) if self.buckets[n].online]
+            online_owners[key] = online
+            for name in online:
+                by_bucket.setdefault(name, []).append(key)
+        groups = list(by_bucket.items())
+        if groups:
+            self.stats.record(
+                round_trips=1, bucket_ops=len(groups), keys_fetched=len(ordered)
+            )
+
+        def peek(group):
+            name, bucket_keys = group
+            return self.buckets[name].peek_many(bucket_keys)
+
+        held: dict[str, dict[Hashable, object]] = {}
+        for (name, _), (found, error) in zip(groups, self._settle(peek, groups)):
+            held[name] = {} if error is not None else found
+        return {
+            key: {
+                name: held.get(name, {}).get(key, MISSING)
+                for name in online_owners[key]
+            }
+            for key in ordered
+        }
 
     # -- anti-entropy surface (DESIGN.md §8) -----------------------------------
 

@@ -145,17 +145,17 @@ class TestTombstoneDiff:
     """Diffs over tombstoned versions follow redirects (DESIGN.md §7)."""
 
     def _abort_version(self, store, version):
-        real = store.metadata.put_node
+        real = store.metadata.put_patch
 
-        def failing(node, force=False):
-            if not force and node.key.version == version:
+        def failing(nodes):
+            if any(node.key.version == version for node in nodes):
                 from repro.errors import ProviderUnavailable
 
                 raise ProviderUnavailable("bucket down")
-            return real(node, force=force)
+            return real(nodes)
 
-        store.metadata.put_node = failing
-        return lambda: setattr(store.metadata, "put_node", real)
+        store.metadata.put_patch = failing
+        return lambda: setattr(store.metadata, "put_patch", real)
 
     def test_aborted_overwrite_diffs_empty_against_prior(self, store):
         import pytest as _pytest

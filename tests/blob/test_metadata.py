@@ -4,7 +4,7 @@ import pytest
 
 from repro.blob import BlockDescriptor, LeafNode, MetadataService, NodeKey
 from repro.dht import DhtStore
-from repro.errors import VersionNotFound, WriteConflict
+from repro.errors import ReplicationError, VersionNotFound, WriteConflict
 
 
 def leaf(index=0, version=1, provider="p"):
@@ -69,3 +69,184 @@ class TestNodeStorage:
         load = service.load_by_provider()
         assert sum(load.values()) == 20  # replication 2
         assert set(load) == {f"mdp-{i}" for i in range(4)}
+
+
+@pytest.fixture
+def cached_service():
+    return MetadataService(
+        DhtStore([f"mdp-{i}" for i in range(4)], replication=2), cache_nodes=64
+    )
+
+
+class TestBatchFacade:
+    def test_get_nodes_matches_scalar(self, service):
+        nodes = [leaf(index=i) for i in range(8)]
+        service.put_patch(nodes)
+        got = service.get_nodes([node.key for node in nodes])
+        assert got == {node.key: node for node in nodes}
+
+    def test_get_nodes_missing_key_raises_version_not_found(self, service):
+        service.put_node(leaf(index=0))
+        with pytest.raises(VersionNotFound):
+            service.get_nodes([leaf(index=0).key, NodeKey("b", 9, 0, 1)])
+
+    def test_put_patch_is_one_round_trip_per_publish(self, service):
+        nodes = [leaf(index=i) for i in range(8)]
+        before = service.store.stats.snapshot()["round_trips"]
+        service.put_patch(nodes)
+        assert service.store.stats.snapshot()["round_trips"] - before == 1
+
+    def test_put_patch_conflict_raises_and_keeps_stored_value(self, service):
+        service.put_patch([leaf(provider="p1")])
+        with pytest.raises(WriteConflict, match="immutable"):
+            service.put_patch([leaf(provider="p2"), leaf(index=1)])
+        assert service.get_node(leaf().key) == leaf(provider="p1")
+
+    def test_put_patch_identical_retry_is_idempotent(self, service):
+        nodes = [leaf(index=i) for i in range(4)]
+        service.put_patch(nodes)
+        service.put_patch(nodes)  # no WriteConflict, no duplicate state
+        assert sum(service.load_by_provider().values()) == 8
+
+    def test_put_patch_with_every_replica_down_raises(self, service):
+        node = leaf()
+        for name in service.store.owners(node.key):
+            service.store.fail_bucket(name)
+        with pytest.raises(ReplicationError):
+            service.put_patch([node])
+
+    def test_put_fillers_reports_unstored_keys(self, service):
+        reachable, dead = leaf(index=0), leaf(index=1)
+        for name in service.store.owners(dead.key):
+            service.store.fail_bucket(name)
+        unstored = service.put_fillers([reachable, dead])
+        assert unstored == [dead.key]
+        assert service.get_node(reachable.key) == reachable
+
+
+class TestNodeCache:
+    def test_read_through_and_hit_counters(self, cached_service):
+        node = leaf()
+        cached_service.put_node(node)
+        before = cached_service.store.stats.snapshot()["round_trips"]
+        assert cached_service.get_node(node.key) == node  # miss -> DHT
+        assert cached_service.get_node(node.key) == node  # hit -> local
+        assert cached_service.store.stats.snapshot()["round_trips"] - before == 1
+        assert cached_service.cache.hits == 1
+        assert cached_service.cache.misses == 1
+
+    def test_publish_does_not_populate_cache(self, cached_service):
+        """Write-through caching would let a client 'read' metadata the
+        DHT never served it — failure injection must stay observable."""
+        node = leaf()
+        cached_service.put_node(node)
+        assert len(cached_service.cache) == 0
+
+    def test_force_put_invalidates(self, cached_service):
+        cached_service.put_node(leaf(provider="p1"))
+        cached_service.get_node(leaf().key)  # cached
+        cached_service.put_node(leaf(provider="p2"), force=True)
+        assert cached_service.get_node(leaf().key) == leaf(provider="p2")
+
+    def test_delete_invalidates(self, cached_service):
+        node = leaf()
+        cached_service.put_node(node)
+        cached_service.get_node(node.key)  # cached
+        cached_service.delete_node(node.key)
+        with pytest.raises(VersionNotFound):
+            cached_service.get_node(node.key)
+        assert not cached_service.has_node(node.key)
+
+    def test_heal_replica_invalidates(self, cached_service):
+        cached_service.put_node(leaf(provider="p1"))
+        cached_service.get_node(leaf().key)  # cached
+        healed = leaf(provider="p2")
+        for name in cached_service.store.owners(healed.key):
+            cached_service.heal_replica(name, healed)
+        assert cached_service.get_node(healed.key) == healed
+
+    def test_lru_eviction_bounds_size(self):
+        service = MetadataService(DhtStore(["a", "b"]), cache_nodes=4)
+        nodes = [leaf(index=i) for i in range(8)]
+        service.put_patch(nodes)
+        for node in nodes:
+            service.get_node(node.key)
+        assert len(service.cache) == 4
+
+    def test_get_nodes_mixes_hits_and_misses(self, cached_service):
+        nodes = [leaf(index=i) for i in range(6)]
+        cached_service.put_patch(nodes)
+        keys = [node.key for node in nodes]
+        cached_service.get_nodes(keys[:3])  # warm half
+        before = cached_service.store.stats.snapshot()["keys_fetched"]
+        got = cached_service.get_nodes(keys)
+        assert got == {node.key: node for node in nodes}
+        # Only the cold half travelled.
+        assert cached_service.store.stats.snapshot()["keys_fetched"] - before == 3
+
+    def test_fetch_racing_an_invalidation_is_not_cached(self, cached_service):
+        """A DHT fetch that overlaps a sanctioned mutation must not
+        install the superseded node after the mutation's invalidation
+        already ran — otherwise one unlucky read pins the stale value
+        forever (no further invalidation is coming)."""
+        stale, healed = leaf(provider="p1"), leaf(provider="p2")
+        cached_service.put_node(stale)
+        real_get = cached_service.store.get
+
+        def get_then_heal(key):
+            node = real_get(key)  # the fetch observes the pre-heal value
+            for name in cached_service.store.owners(key):
+                cached_service.heal_replica(name, healed)  # heal + invalidate
+            return node
+
+        cached_service.store.get = get_then_heal
+        assert cached_service.get_node(stale.key) == stale  # raced read
+        cached_service.store.get = real_get
+        # The raced fetch must NOT have been cached: the next lookup
+        # refetches and sees the healed node.
+        assert cached_service.get_node(stale.key) == healed
+
+    def test_batched_fetch_racing_an_invalidation_is_not_cached(
+        self, cached_service
+    ):
+        stale, healed = leaf(provider="p1"), leaf(provider="p2")
+        cached_service.put_node(stale)
+        real_multi_get = cached_service.store.multi_get
+
+        def multi_get_then_heal(keys):
+            nodes = real_multi_get(keys)
+            for name in cached_service.store.owners(stale.key):
+                cached_service.heal_replica(name, healed)
+            return nodes
+
+        cached_service.store.multi_get = multi_get_then_heal
+        assert cached_service.get_nodes([stale.key]) == {stale.key: stale}
+        cached_service.store.multi_get = real_multi_get
+        assert cached_service.get_node(stale.key) == healed
+
+    def test_unrelated_invalidation_does_not_reject_insert(self):
+        """Per-key freshness: a maintenance sweep invalidating *other*
+        keys (a GC pass does thousands) must not discard a concurrent
+        reader's in-flight insert, or the cache never populates while
+        the scrub daemon runs."""
+        from repro.blob import NodeCache
+
+        cache = NodeCache(capacity=8)
+        node, other = leaf(index=0), leaf(index=1)
+        token = cache.begin()
+        cache.invalidate(other.key)  # unrelated key
+        assert cache.put_if_fresh(node.key, node, token)
+        assert cache.get(node.key) == node
+        # ... while the raced key itself is still rejected.
+        token = cache.begin()
+        cache.invalidate(node.key)
+        assert not cache.put_if_fresh(node.key, node, token)
+        assert cache.get(node.key) is None
+
+    def test_stats_surface(self, cached_service):
+        cached_service.put_node(leaf())
+        cached_service.get_node(leaf().key)
+        stats = cached_service.stats()
+        assert stats["round_trips"] > 0
+        assert stats["cache_misses"] == 1
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0

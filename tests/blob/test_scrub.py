@@ -166,38 +166,47 @@ class TestMetadataReconciliation:
 
 
 class TestTombstoneHealing:
-    def stale_node_scenario(self):
+    def stale_node_scenario(self, **store_kwargs):
         """A replica receives a real-patch node of a doomed write, dies
         before the abort, and recovers serving it — the exact stale-node
         gap the ROADMAP left open (metadata_replication >= 2)."""
         store = make_store(
-            metadata_providers=8, metadata_replication=2, data_providers=4
+            metadata_providers=8, metadata_replication=2, data_providers=4,
+            **store_kwargs,
         )
         blob = store.create()
         store.append(blob, b"a" * (4 * BS))  # v1
 
-        real = store.metadata.put_node
+        real = store.metadata.put_patch
         state = {}
 
-        def put_then_kill_first_owner(node, force=False):
-            if not force and node.key.version == 2:
+        def put_then_kill_first_owner(nodes):
+            # Per-node publish so the injection keeps its old shape: the
+            # first v2 node lands on every replica, then its primary
+            # owner dies, then the rest of the patch fails.
+            for node in nodes:
+                if node.key.version != 2:
+                    real([node])
+                    continue
                 if "victim" not in state:
-                    real(node, force=force)  # lands on every replica
+                    real([node])  # lands on every replica
                     state["victim"] = store.metadata.store.owners(node.key)[0]
                     state["key"] = node.key
                     store.metadata.store.fail_bucket(state["victim"])
-                    return
+                    continue
                 raise ProviderUnavailable("metadata outage")
-            return real(node, force=force)
 
-        store.metadata.put_node = put_then_kill_first_owner
+        store.metadata.put_patch = put_then_kill_first_owner
         with pytest.raises(ProviderUnavailable):
             store.append(blob, b"x" * (2 * BS))  # v2 dies mid-publish
-        store.metadata.put_node = real
+        store.metadata.put_patch = real
         return store, blob, state["victim"], state["key"]
 
     def test_recovered_replica_serves_stale_node_until_scrubbed(self):
-        store, blob, victim, key = self.stale_node_scenario()
+        # Cache disabled: this test demonstrates the raw DHT-layer
+        # stale-node hazard, which a warm client cache (correct filler
+        # cached by the pre-recovery read) would mask.
+        store, blob, victim, key = self.stale_node_scenario(metadata_cache_nodes=0)
         assert store.snapshot(blob, 2).tombstone
 
         # While the victim is down, reads resolve through the filler on
@@ -229,6 +238,31 @@ class TestTombstoneHealing:
             assert buckets[victim].digest(shared) == buckets[other].digest(shared)
         assert store.read(blob, version=2) == expected
         assert store.scrub().clean  # idempotent: nothing left to heal
+        store.close()
+
+    def test_scrub_heal_invalidates_cached_stale_nodes(self):
+        """Cache-invalidation path #3 (DESIGN.md §9): a descent that
+        cached a recovered replica's stale real-patch node must refetch
+        after the scrub heals it — without the invalidation, the client
+        would keep resolving the tombstoned version through the dead
+        write's leaf forever."""
+        store, blob, victim, key = self.stale_node_scenario()  # cache ON
+        assert store.metadata.cache is not None
+        store.metadata.store.recover_bucket(victim)
+
+        # Ring order consults the recovered replica first: the descent
+        # fetches (and caches) the dead write's real leaf, whose block
+        # was rolled back — the read fails, stale node now cached.
+        with pytest.raises(ProviderUnavailable):
+            store.read(blob, version=2)
+
+        report = store.scrub()
+        assert report.filler_republished > 0
+        # The heal invalidated the cached stale node: the next descent
+        # refetches and resolves through the filler, with zero stale
+        # reads ever served.
+        assert store.read(blob, version=2) == b"a" * (4 * BS) + bytes(2 * BS)
+        assert store.metadata.cache.invalidations > 0
         store.close()
 
     def test_scrub_respects_gc_floor(self):

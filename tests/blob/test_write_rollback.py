@@ -295,20 +295,20 @@ class TestFailedWriteRollback:
 
 
 def fail_publish_for_version(store, version):
-    """Make every *non-force* metadata put of *version* fail — the
+    """Make every batched *real-patch* publish of *version* fail — the
     signature of all replicas of the owning bucket being down while a
-    writer publishes its patch.  Force puts (the tombstone's filler)
-    still land, as they would on the surviving buckets.  Returns an
-    undo callable."""
-    real = store.metadata.put_node
+    writer publishes its patch.  Force puts (the tombstone's filler,
+    which travels via ``put_fillers``) still land, as they would on the
+    surviving buckets.  Returns an undo callable."""
+    real = store.metadata.put_patch
 
-    def failing_put_node(node, force=False):
-        if not force and node.key.version == version:
+    def failing_put_patch(nodes):
+        if any(node.key.version == version for node in nodes):
             raise ProviderUnavailable("all replicas of the owning bucket are down")
-        return real(node, force=force)
+        return real(nodes)
 
-    store.metadata.put_node = failing_put_node
-    return lambda: setattr(store.metadata, "put_node", real)
+    store.metadata.put_patch = failing_put_patch
+    return lambda: setattr(store.metadata, "put_patch", real)
 
 
 @pytest.mark.parametrize("io_workers", [0, 4])
@@ -405,20 +405,20 @@ class TestWriteAbortTombstone:
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))  # v1
         holder = {}
-        real = store.metadata.put_node
+        real = store.metadata.put_patch
 
-        def failing_put_node(node, force=False):
-            if not force and node.key.version == 2:
+        def failing_put_patch(nodes):
+            if any(node.key.version == 2 for node in nodes):
                 if "ticket" not in holder:
                     # B sneaks in between A's assignment and A's abort.
                     holder["ticket"] = store.version_manager.assign_append(blob, BS)
                 raise ProviderUnavailable("bucket down")
-            return real(node, force=force)
+            return real(nodes)
 
-        store.metadata.put_node = failing_put_node
+        store.metadata.put_patch = failing_put_patch
         with pytest.raises(ProviderUnavailable):
             store.append(blob, b"x" * (2 * BS))  # A: v2, dies
-        store.metadata.put_node = real
+        store.metadata.put_patch = real
 
         ticket = holder["ticket"]
         assert ticket.version == 3
@@ -505,17 +505,25 @@ class TestWriteAbortTombstone:
         )
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))  # v1
-        real = store.metadata.put_node
+        real_patch = store.metadata.put_patch
+        real_fillers = store.metadata.put_fillers
 
-        def failing(node, force=False):
-            if node.key.version == 2:  # real AND filler puts fail
+        def failing_patch(nodes):
+            if any(node.key.version == 2 for node in nodes):
                 raise ProviderUnavailable("bucket down")
-            return real(node, force=force)
+            return real_patch(nodes)
 
-        store.metadata.put_node = failing
+        def failing_fillers(nodes):  # filler puts fail too: no node lands
+            dead = [n.key for n in nodes if n.key.version == 2]
+            rest = [n for n in nodes if n.key.version != 2]
+            return dead + (real_fillers(rest) if rest else [])
+
+        store.metadata.put_patch = failing_patch
+        store.metadata.put_fillers = failing_fillers
         with pytest.raises(ProviderUnavailable):
             store.append(blob, b"x" * (2 * BS))  # v2 tombstones, no filler
-        store.metadata.put_node = real
+        store.metadata.put_patch = real_patch
+        store.metadata.put_fillers = real_fillers
 
         branch = store.branch(blob, version=2)  # branch at the tombstone
         with pytest.raises(VersionNotFound):
