@@ -1,0 +1,121 @@
+"""Group-commit publish pipeline: fig5-style append scaling (DESIGN.md §10).
+
+The paper's §III-B/§III-D design rests on version assignment being the
+*only* serialized step of a write — yet the per-writer protocol still
+pays one version-manager interaction per writer per phase (assign,
+then commit), so under fig5-style heavy append concurrency the version
+manager becomes a per-writer RPC hotspot exactly as the metadata layer
+was before the batched descent.  This bench gives the version manager
+a per-interaction service latency and measures aggregate
+concurrent-append throughput through both publish paths.  Expectation:
+the group-commit pipeline (batched assign/commit, scatter overlapped
+with metadata weaving) beats the per-writer baseline by a wide margin,
+and the VmanStats counter proves its round trips scale with batches,
+not writers.
+
+Round-trip counts and the largest coalesced batch land in the
+benchmark JSON artifact via ``extra_info``, so CI records the batching
+win alongside the wall-clock numbers.
+"""
+
+import threading
+import time
+
+from conftest import emit
+
+from repro.blob import LocalBlobStore
+
+BLOCK = 4 * 1024
+BLOCKS_PER_OP = 4
+CLIENTS = 16
+ROUNDS = 2
+TOTAL_OPS = CLIENTS * ROUNDS
+#: 5 ms simulated version-manager service time per serialized
+#: interaction: the per-writer path pays it 2x per append *serially*
+#: (assign + commit through the concurrency-1 version manager), the
+#: pipeline once per batch — a gap scheduler jitter cannot invert.
+VMAN_LATENCY = 0.005
+#: Window the group-commit leader waits for more writers to join.
+WINDOW = 0.003
+
+
+def _measure(group_commit: bool) -> dict:
+    """Aggregate MB/s of CLIENTS threads appending to one BLOB, plus
+    the version-manager round-trip count of the whole workload."""
+    store = LocalBlobStore(
+        data_providers=8,
+        metadata_providers=4,
+        block_size=BLOCK,
+        io_workers=8,
+        vman_latency=VMAN_LATENCY,
+        group_commit=group_commit,
+        publish_window=WINDOW if group_commit else 0.0,
+        overlap_publish=group_commit,
+    )
+    try:
+        blob = store.create()
+        payload = b"a" * (BLOCKS_PER_OP * BLOCK)
+        store.vman_stats.reset()
+        barrier = threading.Barrier(CLIENTS)
+        errors = []
+
+        def appender():
+            try:
+                barrier.wait()
+                for _ in range(ROUNDS):
+                    store.append(blob, payload)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=appender) for _ in range(CLIENTS)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+        stats = store.vman_stats.snapshot()
+        assert store.latest_version(blob) == TOTAL_OPS
+        return {
+            "mb_per_s": TOTAL_OPS * len(payload) / elapsed / 2**20,
+            "vman_round_trips": stats["vman_round_trips"],
+            "max_commit_batch": stats["vman_max_commit_batch"],
+        }
+    finally:
+        store.close()
+
+
+def test_fig5_publish_pipeline_appends(benchmark):
+    def run():
+        return {
+            "per_writer": _measure(group_commit=False),
+            "grouped": _measure(group_commit=True),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    per, grp = out["per_writer"], out["grouped"]
+    benchmark.extra_info["per_writer_vman_round_trips"] = per["vman_round_trips"]
+    benchmark.extra_info["grouped_vman_round_trips"] = grp["vman_round_trips"]
+    benchmark.extra_info["grouped_max_commit_batch"] = grp["max_commit_batch"]
+    benchmark.extra_info["speedup"] = round(grp["mb_per_s"] / per["mb_per_s"], 2)
+    emit(
+        "fig5-style concurrent appends vs publish pipeline "
+        f"(writers={CLIENTS}, {ROUNDS} appends each, "
+        f"{VMAN_LATENCY * 1e3:.1f}ms/vman interaction):\n"
+        f"  per-writer commits       {per['mb_per_s']:8.2f} MB/s  "
+        f"({per['vman_round_trips']} vman round trips)\n"
+        f"  group-commit pipeline    {grp['mb_per_s']:8.2f} MB/s  "
+        f"({grp['vman_round_trips']} vman round trips, "
+        f"largest batch {grp['max_commit_batch']})"
+    )
+    # The counter bound: O(batches) vs O(writers) serialized vman
+    # interactions for the same {TOTAL_OPS}-append workload ...
+    assert per["vman_round_trips"] >= 2 * TOTAL_OPS
+    assert grp["vman_round_trips"] <= TOTAL_OPS // 2
+    assert grp["max_commit_batch"] >= 2
+    # ... and the >= 5x throughput win it buys under vman latency.
+    assert grp["mb_per_s"] > 5 * per["mb_per_s"], (
+        f"group commit must clearly beat the per-writer baseline: "
+        f"{grp['mb_per_s']:.2f} vs {per['mb_per_s']:.2f} MB/s"
+    )

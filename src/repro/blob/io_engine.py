@@ -68,6 +68,17 @@ class ParallelIOEngine:
         self._on_pool.active = True
         return fn(*args, **kwargs)
 
+    @property
+    def in_worker(self) -> bool:
+        """Whether the calling thread is one of this pool's workers.
+
+        The publish pipeline checks this before overlapping a scatter
+        with metadata weaving: a pool thread that parked itself waiting
+        on futures served by the same pool could deadlock a saturated
+        pool, so nested writes fall back to the inline scatter.
+        """
+        return bool(getattr(self._on_pool, "active", False))
+
     # -- scatter-gather -----------------------------------------------------------
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
@@ -80,7 +91,7 @@ class ParallelIOEngine:
         a silent partial success.
         """
         work: Sequence[T] = list(items)
-        if len(work) <= 1 or getattr(self._on_pool, "active", False):
+        if len(work) <= 1 or self.in_worker:
             return [fn(item) for item in work]
 
         pending: "queue.SimpleQueue[tuple[int, T]]" = queue.SimpleQueue()
@@ -139,6 +150,24 @@ class ParallelIOEngine:
                 return None, exc
 
         return self.map(settle, items)
+
+    def submit_each(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> "list[Future[R]]":
+        """Schedule *fn* over *items* as independent pool tasks.
+
+        Unlike :meth:`map`, the caller does **not** participate and the
+        call returns immediately — this is the overlap primitive of the
+        publish pipeline (DESIGN.md §10): the write path launches its
+        block scatter here, weaves and publishes its metadata patch on
+        the calling thread meanwhile, and only then settles the
+        futures.  The caller owns the futures: it must await every one
+        (even after a failure) before acting on partial state, because
+        a still-running transfer can change that state underneath it.
+        Never call from a pool thread — use :meth:`map`, which runs
+        inline there.
+        """
+        return [self.submit(fn, item) for item in items]
 
     # -- opportunistic work -------------------------------------------------------
 

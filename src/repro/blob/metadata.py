@@ -201,20 +201,47 @@ class MetadataService:
         :class:`ReplicationError` — the same contract the scalar
         get-then-put loop enforced in 2x the round trips.
         """
-        result = self.store.multi_put(
-            [(node.key, node) for node in nodes], conditional=True
-        )
-        if result.conflicts:
-            key = next(iter(result.conflicts))
-            raise WriteConflict(
+        error = self.put_patches([nodes])[0]
+        if error is not None:
+            raise error
+
+    def put_patches(
+        self, patches: Sequence[Sequence[TreeNode]]
+    ) -> list[Optional[Exception]]:
+        """Publish several writers' patches in one conditional DHT pass.
+
+        The multi-writer twin of :meth:`put_patch` (DESIGN.md §10): all
+        patches' nodes travel together — per owner bucket, one request
+        carries every patch's share — but outcomes stay **per patch**,
+        because the patches belong to strangers coalesced by a publish
+        window and one writer's conflict must not poison its
+        batch-mates.  Returns a list aligned with *patches*: ``None``
+        for a fully stored patch, else the :class:`WriteConflict` /
+        :class:`ReplicationError` that patch alone should raise
+        (conflict wins when a patch suffers both, matching the scalar
+        path's precedence).  Distinct writers' patches never share a
+        key — every node key embeds its writer's version.
+        """
+        owner_patch: dict[NodeKey, int] = {}
+        pairs: list[tuple[NodeKey, TreeNode]] = []
+        for i, nodes in enumerate(patches):
+            for node in nodes:
+                owner_patch[node.key] = i
+                pairs.append((node.key, node))
+        result = self.store.multi_put(pairs, conditional=True)
+        errors: list[Optional[Exception]] = [None] * len(patches)
+        for key in result.unstored:
+            i = owner_patch[key]
+            if errors[i] is None:
+                errors[i] = ReplicationError(
+                    f"no live replica took metadata node {key}"
+                )
+        for key in result.conflicts:
+            errors[owner_patch[key]] = WriteConflict(
                 f"metadata node {key} already exists with different content; "
                 "tree nodes are immutable by design"
             )
-        if result.unstored:
-            raise ReplicationError(
-                f"no live replica took {len(result.unstored)} metadata node(s), "
-                f"e.g. {result.unstored[0]}"
-            )
+        return errors
 
     def put_fillers(self, nodes: Sequence[TreeNode]) -> list[NodeKey]:
         """Force-publish a tombstone's filler patch, best effort.

@@ -44,8 +44,9 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -69,6 +70,7 @@ from repro.blob.segment_tree import (
     collect_blocks_batched,
 )
 from repro.blob.version_manager import (
+    AssignRequest,
     SnapshotInfo,
     TombstoneSpec,
     VersionManagerCore,
@@ -85,7 +87,13 @@ from repro.errors import (
 from repro.util.bytesize import MB, parse_size
 from repro.util.chunks import split_range
 
-__all__ = ["LocalBlobStore", "BlockLocation", "DEFAULT_BLOCK_SIZE"]
+__all__ = [
+    "LocalBlobStore",
+    "BlockLocation",
+    "PublishPipeline",
+    "VmanStats",
+    "DEFAULT_BLOCK_SIZE",
+]
 
 #: The paper's block size: 64 MB, "equal to the chunk size in HDFS".
 DEFAULT_BLOCK_SIZE = 64 * MB
@@ -115,6 +123,224 @@ def _split_payload(data: Union[bytes, Payload], block_size: int) -> list[Payload
     ]
 
 
+class VmanStats:
+    """Version-manager interaction counters (thread-safe).
+
+    The write-path twin of :class:`~repro.dht.store.DhtStats`:
+    ``round_trips`` counts *serialized* version-manager interactions —
+    one group-commit flush counts once no matter how many writers ride
+    it — while ``tickets_assigned``/``commits_reported`` count the
+    members those interactions served.  The gap between the two is
+    exactly what the publish pipeline buys (DESIGN.md §10): under the
+    per-writer path round trips grow with writers, under group commit
+    they grow with batches.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.round_trips = 0
+            self.assign_rounds = 0
+            self.commit_rounds = 0
+            self.info_rounds = 0
+            self.abort_rounds = 0
+            self.tickets_assigned = 0
+            self.commits_reported = 0
+            self.max_assign_batch = 0
+            self.max_commit_batch = 0
+
+    def record(
+        self,
+        round_trips: int = 0,
+        assign_rounds: int = 0,
+        commit_rounds: int = 0,
+        info_rounds: int = 0,
+        abort_rounds: int = 0,
+        tickets_assigned: int = 0,
+        commits_reported: int = 0,
+    ) -> None:
+        with self._lock:
+            self.round_trips += round_trips
+            self.assign_rounds += assign_rounds
+            self.commit_rounds += commit_rounds
+            self.info_rounds += info_rounds
+            self.abort_rounds += abort_rounds
+            self.tickets_assigned += tickets_assigned
+            self.commits_reported += commits_reported
+            self.max_assign_batch = max(self.max_assign_batch, tickets_assigned)
+            self.max_commit_batch = max(self.max_commit_batch, commits_reported)
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "vman_round_trips": self.round_trips,
+                "vman_assign_rounds": self.assign_rounds,
+                "vman_commit_rounds": self.commit_rounds,
+                "vman_info_rounds": self.info_rounds,
+                "vman_abort_rounds": self.abort_rounds,
+                "vman_tickets_assigned": self.tickets_assigned,
+                "vman_commits_reported": self.commits_reported,
+                "vman_max_assign_batch": self.max_assign_batch,
+                "vman_max_commit_batch": self.max_commit_batch,
+            }
+
+
+class _PendingOp:
+    """One writer's slot in a :class:`_GroupBatcher` batch."""
+
+    __slots__ = ("request", "done", "settled", "result", "error", "hook_error")
+
+    def __init__(self, request):
+        self.request = request
+        self.done = threading.Event()
+        self.settled = False
+        self.result = None
+        self.error: Optional[BaseException] = None
+        self.hook_error: Optional[PublishHookError] = None
+
+    def resolve(self, result) -> None:
+        self.settled = True
+        self.result = result
+
+    def reject(self, error: BaseException) -> None:
+        self.settled = True
+        self.error = error
+
+
+class _GroupBatcher:
+    """Leader–follower window batcher (the group-commit mechanism).
+
+    Callers enqueue an entry, then contend on the leader lock.
+    Whoever holds it is the leader: it optionally sleeps the window
+    (letting more writers join), drains **everything** queued, and
+    serves the whole batch in one flush.  A follower waking with its
+    entry already served just returns; otherwise it becomes the next
+    leader.  Batching is therefore opportunistic even at ``window=0``:
+    while one flush holds the serialized version manager, every writer
+    arriving meanwhile queues up and the next flush takes them all —
+    round trips scale with batches, not writers.
+
+    The flush callback must settle each entry via ``resolve``/
+    ``reject``; any exception escaping it is routed to the entries it
+    left unsettled (never swallowed, never able to strand a waiter).
+    """
+
+    def __init__(self, flush: "Callable[[list[_PendingOp]], None]", window: float):
+        self._flush = flush
+        self.window = window
+        self._mutex = threading.Lock()
+        self._queue: list[_PendingOp] = []
+        self._leader = threading.Lock()
+
+    #: How long a follower waits on the leader lock before re-checking
+    #: whether its entry was served: a writer whose batch already
+    #: flushed must not stay parked behind strangers' whole flush
+    #: cycles (threading.Lock is unfair), but an unserved writer must
+    #: keep contending — only leadership guarantees its entry drains.
+    _RECHECK = 0.001
+
+    def submit(self, request):
+        op = _PendingOp(request)
+        with self._mutex:
+            self._queue.append(op)
+        while not op.done.is_set():
+            if not self._leader.acquire(timeout=self._RECHECK):
+                continue
+            try:
+                if op.done.is_set():
+                    break
+                if self.window:
+                    time.sleep(self.window)
+                with self._mutex:
+                    batch, self._queue = self._queue, []
+                try:
+                    self._flush(batch)
+                except BaseException as exc:
+                    for entry in batch:
+                        if not entry.settled:
+                            entry.reject(exc)
+                finally:
+                    for entry in batch:
+                        entry.done.set()
+            finally:
+                self._leader.release()
+        if op.error is not None:
+            raise op.error
+        if op.hook_error is not None:
+            raise op.hook_error
+        return op.result
+
+
+class PublishPipeline:
+    """Group-commit publish pipeline for one store (DESIGN.md §10).
+
+    Batches the two serialized steps of the write protocol — version
+    assignment and the completion report — across concurrent writers:
+    each flush is ONE version-manager interaction
+    (:meth:`~repro.blob.version_manager.VersionManagerCore.assign_batch`
+    / ``commit_batch``) that admits every writer queued within the
+    window.  Assignment and commit batch independently (an assign must
+    never queue behind a commit flush), per-blob assignment order is
+    queue arrival order, and per-item errors — including a publish
+    hook's — come back to exactly the writer they belong to.  Aborts
+    do NOT ride the pipeline: a crashing writer tombstones through the
+    direct path (`LocalBlobStore._abort_ticket`) while its batch-mates
+    commit on.
+    """
+
+    def __init__(self, store: "LocalBlobStore", window: float = 0.0):
+        if window < 0:
+            raise ValueError(f"publish window must be >= 0, got {window}")
+        self._store = store
+        self.window = window
+        self._assigns = _GroupBatcher(self._flush_assigns, window)
+        self._commits = _GroupBatcher(self._flush_commits, window)
+
+    def assign(self, request: AssignRequest) -> WriteTicket:
+        """Group-batched version assignment; raises the per-item error."""
+        return self._assigns.submit(request)
+
+    def commit(self, blob_id: str, version: int) -> int:
+        """Group-batched completion report; returns the watermark.
+
+        Raises the member's own validation error, or — after a
+        successful commit — the batch's :class:`PublishHookError`
+        (report-only: the snapshot is published either way).
+        """
+        return self._commits.submit((blob_id, version))
+
+    def _flush_assigns(self, batch: list[_PendingOp]) -> None:
+        requests = [entry.request for entry in batch]
+        outcomes = self._store._vman_call(
+            lambda: self._store.version_manager.assign_batch(requests),
+            assign_rounds=1,
+            tickets_assigned=len(requests),
+        )
+        for entry, outcome in zip(batch, outcomes):
+            if isinstance(outcome, BaseException):
+                entry.reject(outcome)
+            else:
+                entry.resolve(outcome)
+
+    def _flush_commits(self, batch: list[_PendingOp]) -> None:
+        items = [entry.request for entry in batch]
+        outcomes = self._store._vman_call(
+            lambda: self._store.version_manager.commit_batch(items),
+            commit_rounds=1,
+            commits_reported=len(items),
+        )
+        for entry, outcome in zip(batch, outcomes):
+            if outcome.error is not None:
+                entry.reject(outcome.error)
+            else:
+                entry.resolve(outcome.watermark)
+                entry.hook_error = outcome.hook_error
+
+
 class LocalBlobStore:
     """In-process BlobSeer deployment.
 
@@ -139,6 +365,26 @@ class LocalBlobStore:
             metadata pipeline (O(tree-depth) round trips).  ``False``
             keeps the historical one-RPC-per-node descent — the
             ablation baseline the benchmarks compare against.
+        vman_latency: simulated service time per serialized
+            version-manager *interaction* — a group-commit flush pays
+            it once per batch, the per-writer path once per writer per
+            phase, which is what makes the pipeline's round-trip
+            saving visible in wall-clock benchmarks (DESIGN.md §10).
+        group_commit: batch concurrent writers' version assignments
+            and completion reports through the :class:`PublishPipeline`
+            (O(batches) vman round trips).  ``False`` keeps the
+            per-writer interactions — the ablation baseline.
+        publish_window: seconds the group-commit leader waits for more
+            writers to join its batch.  0 (default) batches
+            opportunistically: whatever queued while the previous
+            flush held the version manager rides the next one.
+        overlap_publish: overlap the block scatter with metadata
+            weaving/publication (requires ``io_workers > 0``): the
+            scatter is launched asynchronously and settled just before
+            the commit.  Off by default because it moves a mid-scatter
+            failure from the plain-rollback phase into the
+            tombstone-abort phase (the version is already assigned
+            when the failure surfaces; semantics per DESIGN.md §7).
     """
 
     def __init__(
@@ -155,6 +401,10 @@ class LocalBlobStore:
         metadata_latency: float = 0.0,
         metadata_cache_nodes: int = 1024,
         metadata_batching: bool = True,
+        vman_latency: float = 0.0,
+        group_commit: bool = True,
+        publish_window: float = 0.0,
+        overlap_publish: bool = False,
     ):
         if isinstance(data_providers, int):
             data_providers = [f"provider-{i:03d}" for i in range(data_providers)]
@@ -165,9 +415,17 @@ class LocalBlobStore:
             raise ValueError("block_size must be >= 1")
         if io_workers < 0:
             raise ValueError(f"io_workers must be >= 0, got {io_workers}")
+        if vman_latency < 0:
+            raise ValueError(f"vman_latency must be >= 0, got {vman_latency}")
         self.replication = replication
         self.metadata_batching = metadata_batching
+        self.vman_latency = vman_latency
+        self.vman_stats = VmanStats()
+        self.overlap_publish = overlap_publish
         self.version_manager = VersionManagerCore()
+        self.publish_pipeline: Optional[PublishPipeline] = (
+            PublishPipeline(self, window=publish_window) if group_commit else None
+        )
         self.provider_manager = ProviderManagerCore(
             policy=placement, rng=np.random.default_rng(seed)
         )
@@ -262,6 +520,24 @@ class LocalBlobStore:
             return self.io_engine.map(fn, items)
         return [fn(item) for item in items]
 
+    def _vman_call(self, fn, **counters):
+        """One serialized version-manager interaction.
+
+        In the distributed deployment every one of these is an RPC to
+        the concurrency-1 version-manager service — the protocol's only
+        serialization point (§III-A.4) — so the in-process store models
+        it the same way: the control lock is held, the simulated
+        service latency is paid once *per interaction* no matter how
+        many batch members ride along, and exactly one round trip is
+        counted.  Every vman access on the client protocol paths
+        (assign, commit, abort, snapshot info) routes through here.
+        """
+        with self._lock:
+            if self.vman_latency:
+                time.sleep(self.vman_latency)
+            self.vman_stats.record(round_trips=1, **counters)
+            return fn()
+
     # -- lifecycle ---------------------------------------------------------------
 
     def create(
@@ -324,41 +600,60 @@ class LocalBlobStore:
         # transfer across the providers, in parallel when the store has
         # an I/O engine.  Allocation stays under the control lock (the
         # provider manager is the placement serialization point).
+        # With ``overlap_publish`` the scatter is only *launched* here
+        # and settled right before the commit, so the assignment and
+        # the metadata weave/publish run while the blocks travel
+        # (DESIGN.md §10) — except from an engine worker thread, where
+        # parking on the pool's own futures could deadlock it.
         with self._lock:
             nonce = next(self._nonce)
             placements = self.provider_manager.allocate(
                 len(payloads), sizes, replication=state.replication
             )
-        stored = self._store_blocks(blob_id, nonce, payloads, placements, sizes)
+        overlap = (
+            self.overlap_publish
+            and self.io_engine is not None
+            and not self.io_engine.in_worker
+        )
+        stored: list[tuple[str, tuple[str, int, int]]] = []
+        scatter = None
+        if overlap:
+            scatter = self._begin_scatter(blob_id, nonce, payloads, placements, stored)
+        else:
+            stored.extend(
+                self._store_blocks(blob_id, nonce, payloads, placements, sizes)
+            )
 
-        # Phase 2 — version assignment (the serialization point).  The
-        # version manager validates the range *before* recording
-        # anything, so a rejection here (misaligned offset, unaligned
-        # append, hole) leaves it untouched — but the data blocks are
-        # already out, and must be rolled back like any failed write.
+        # Phase 2 — version assignment (the serialization point; group-
+        # batched when the publish pipeline is on).  The version
+        # manager validates the range *before* recording anything, so a
+        # rejection here (misaligned offset, unaligned append, hole)
+        # leaves it untouched — but the data blocks are already out (or
+        # in flight, which must drain first: an unsettled transfer
+        # could still append to ``stored`` underneath the rollback),
+        # and must be rolled back like any failed write.
         try:
-            with self._lock:
-                if append:
-                    ticket = self.version_manager.assign_append(blob_id, sum(sizes))
-                else:
-                    assert offset is not None
-                    ticket = self.version_manager.assign_write(
-                        blob_id, offset, sum(sizes)
-                    )
+            ticket = self._assign_version(blob_id, offset, append, sum(sizes))
         except BaseException:
+            if scatter is not None:
+                self._settle_scatter(scatter)
             self._rollback_write(stored, placements, sizes)
             raise
 
         # Phase 3 — weave and publish metadata (concurrent by design),
-        # then report completion.  A failure here happens *after* the
-        # ticket was assigned, so a plain rollback is not enough: the
-        # version must be aborted too, or it stays in flight forever —
-        # wedging the watermark and blocking GC (the §VI-B weakness).
-        # The abort converts it into a tombstone (see _abort_ticket).
+        # settle the overlapped scatter, then report completion (group-
+        # batched).  A failure here happens *after* the ticket was
+        # assigned, so a plain rollback is not enough: the version must
+        # be aborted too, or it stays in flight forever — wedging the
+        # watermark and blocking GC (the §VI-B weakness).  The abort
+        # converts it into a tombstone (see _abort_ticket).
         try:
             self._publish_metadata(ticket, nonce, sizes, placements)
-            with self._lock:
-                self.version_manager.commit(blob_id, ticket.version)
+            if scatter is not None:
+                error = self._settle_scatter(scatter)
+                if error is not None:
+                    raise error
+            self._commit_version(ticket)
         except PublishHookError:
             # The snapshot IS committed and published; a raising
             # publication hook is reported, never rolled back.
@@ -367,7 +662,11 @@ class LocalBlobStore:
             # Same guard for non-Exception escapes from the hooks
             # (e.g. a KeyboardInterrupt): once the version is
             # committed, its blocks belong to a published snapshot and
-            # must never be rolled back.
+            # must never be rolled back.  An overlapped scatter must
+            # drain first either way — aborting against a still-growing
+            # ``stored`` list would strand the late-landing replicas.
+            if scatter is not None:
+                self._settle_scatter(scatter)
             with self._lock:
                 committed = (
                     ticket.version
@@ -377,6 +676,107 @@ class LocalBlobStore:
                 self._abort_ticket(ticket, stored, placements, sizes)
             raise
         return ticket.version
+
+    def _assign_version(
+        self, blob_id: str, offset: Optional[int], append: bool, length: int
+    ) -> WriteTicket:
+        """Phase-2 version assignment: pipelined or per-writer."""
+        if self.publish_pipeline is not None:
+            return self.publish_pipeline.assign(
+                AssignRequest(
+                    blob_id=blob_id,
+                    length=length,
+                    offset=None if append else offset,
+                )
+            )
+
+        def run() -> WriteTicket:
+            if append:
+                return self.version_manager.assign_append(blob_id, length)
+            assert offset is not None
+            return self.version_manager.assign_write(blob_id, offset, length)
+
+        return self._vman_call(run, assign_rounds=1, tickets_assigned=1)
+
+    def _commit_version(self, ticket: WriteTicket) -> int:
+        """Phase-3 completion report: pipelined or per-writer."""
+        if self.publish_pipeline is not None:
+            return self.publish_pipeline.commit(ticket.blob_id, ticket.version)
+        return self._vman_call(
+            lambda: self.version_manager.commit(ticket.blob_id, ticket.version),
+            commit_rounds=1,
+            commits_reported=1,
+        )
+
+    def _scatter_tasks(
+        self,
+        blob_id: str,
+        nonce: int,
+        payloads: list[Payload],
+        placements: list[tuple[str, ...]],
+        stored: list[tuple[str, tuple[str, int, int]]],
+    ):
+        """The (block, replica) transfer plan shared by both scatters.
+
+        Returns the transfer task list and the closure executing one
+        task, which records each landed replica into *stored* (under
+        its own lock) so the caller can roll back whatever made it.
+        One constructor for the inline and the overlapped scatter: the
+        two paths can never disagree on block-id layout or rollback
+        bookkeeping.
+        """
+        transfers = [
+            (provider_name, (blob_id, nonce, seq), payload)
+            for seq, (payload, replicas) in enumerate(zip(payloads, placements))
+            for provider_name in replicas
+        ]
+        stored_lock = threading.Lock()
+
+        def transfer(task) -> None:
+            provider_name, block_id, payload = task
+            self.providers[provider_name].put(block_id, payload)
+            with stored_lock:
+                stored.append((provider_name, block_id))
+
+        return transfers, transfer
+
+    def _begin_scatter(
+        self,
+        blob_id: str,
+        nonce: int,
+        payloads: list[Payload],
+        placements: list[tuple[str, ...]],
+        stored: list[tuple[str, tuple[str, int, int]]],
+    ):
+        """Launch the block scatter asynchronously (overlap mode).
+
+        Returns the transfer futures; the caller MUST settle them (via
+        :meth:`_settle_scatter`) before rolling back, aborting, or
+        committing — ``stored`` keeps growing until every future is
+        done.
+        """
+        transfers, transfer = self._scatter_tasks(
+            blob_id, nonce, payloads, placements, stored
+        )
+        assert self.io_engine is not None
+        return self.io_engine.submit_each(transfer, transfers)
+
+    @staticmethod
+    def _settle_scatter(futures) -> Optional[BaseException]:
+        """Await every scatter transfer; return the first failure.
+
+        Never fails fast: ``stored`` is only complete — and therefore
+        safe to roll back or publish — once every transfer has either
+        landed or died.
+        """
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                future.result()
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+        return error
 
     def _store_blocks(
         self,
@@ -396,20 +796,10 @@ class LocalBlobStore:
         the ``(provider, block_id)`` pairs stored, so the caller can
         roll back if a *later* protocol step rejects the write.
         """
-        transfers = [
-            (provider_name, (blob_id, nonce, seq), payload)
-            for seq, (payload, replicas) in enumerate(zip(payloads, placements))
-            for provider_name in replicas
-        ]
         stored: list[tuple[str, tuple[str, int, int]]] = []
-        stored_lock = threading.Lock()
-
-        def transfer(task) -> None:
-            provider_name, block_id, payload = task
-            self.providers[provider_name].put(block_id, payload)
-            with stored_lock:
-                stored.append((provider_name, block_id))
-
+        transfers, transfer = self._scatter_tasks(
+            blob_id, nonce, payloads, placements, stored
+        )
         try:
             self._map_io(transfer, transfers)
         except BaseException:
@@ -477,13 +867,16 @@ class LocalBlobStore:
         """
         try:
             self._rollback_write(stored, placements, sizes)
-            with self._lock:
-                spec = self.version_manager.tombstone_spec(
+            spec = self._vman_call(
+                lambda: self.version_manager.tombstone_spec(
                     ticket.blob_id, ticket.version, pending=True
-                )
+                ),
+                abort_rounds=1,
+            )
             self._publish_tombstone(spec)
         finally:
-            with self._lock:
+
+            def finalize() -> None:
                 try:
                     self.version_manager.abort(
                         ticket.blob_id, ticket.version, force_tombstone=True
@@ -493,6 +886,10 @@ class LocalBlobStore:
                     # publication hook must not mask the write's own
                     # failure (which the caller is about to re-raise).
                     pass
+
+            # Its own counted interaction: the abort is a second vman
+            # trip after the spec fetch, separated by the filler I/O.
+            self._vman_call(finalize, abort_rounds=1)
 
     def _publish_tombstone(self, spec: TombstoneSpec) -> list[NodeKey]:
         """Force-publish a tombstone's filler patch, best effort.
@@ -539,9 +936,11 @@ class LocalBlobStore:
         owned by the ancestor BLOB — readers resolve its keys there —
         so the filler is (re)published under the owner's id.
         """
-        with self._lock:
+        def fetch_spec() -> TombstoneSpec:
             owner = self.version_manager.owner_of(blob_id, version)
-            spec = self.version_manager.tombstone_spec(owner, version)
+            return self.version_manager.tombstone_spec(owner, version)
+
+        spec = self._vman_call(fetch_spec, abort_rounds=1)
         return self._publish_tombstone(spec)
 
     def _publish_metadata(
@@ -578,15 +977,19 @@ class LocalBlobStore:
 
     def snapshot(self, blob_id: str, version: Optional[int] = None) -> SnapshotInfo:
         """Snapshot info; ``None`` means latest published (§III-A.1)."""
-        with self._lock:
+
+        def run() -> SnapshotInfo:
             if version is None:
                 return self.version_manager.latest(blob_id)
             return self.version_manager.snapshot_info(blob_id, version)
 
+        return self._vman_call(run, info_rounds=1)
+
     def latest_version(self, blob_id: str) -> int:
         """Publication watermark for *blob_id*."""
-        with self._lock:
-            return self.version_manager.published_version(blob_id)
+        return self._vman_call(
+            lambda: self.version_manager.published_version(blob_id), info_rounds=1
+        )
 
     def read(
         self,

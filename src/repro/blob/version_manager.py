@@ -14,6 +14,14 @@ guaranteed" (paper §III-B).  Its state machine is deliberately tiny:
   version ``v`` such that every version ``<= v`` is committed, giving
   linearizability: readers only ever see complete snapshot prefixes
   (§III-A.5's two conditions).
+* :meth:`assign_batch` / :meth:`commit_batch` — the group-commit
+  surface (DESIGN.md §10): many concurrent writers' assignments or
+  completion reports are admitted in **one** serialized step, so under
+  heavy append concurrency the version manager costs O(batches) round
+  trips instead of O(writers).  Per-item validation errors are
+  isolated (one writer's bad request never poisons its batch-mates)
+  and the watermark advances — publish hooks firing — once per batch
+  per BLOB, with the full committed range.
 * :meth:`abort` — a failed writer abandons its assigned version.  The
   highest assigned version is simply retracted (its number is reused);
   an *interior* version — one a later writer may already have woven
@@ -33,7 +41,7 @@ in the protocol is designed to run concurrently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence, Union
 
 from repro.blob.segment_tree import HistoryRecord, root_span
 from repro.errors import (
@@ -52,6 +60,8 @@ __all__ = [
     "WriteTicket",
     "SnapshotInfo",
     "TombstoneSpec",
+    "AssignRequest",
+    "CommitOutcome",
     "BlobState",
     "VersionManagerCore",
 ]
@@ -142,6 +152,35 @@ class TombstoneSpec:
     prior_size: int
     block_size: int
     history: tuple[HistoryRecord, ...]
+
+
+@dataclass(frozen=True)
+class AssignRequest:
+    """One writer's slot in an :meth:`VersionManagerCore.assign_batch`.
+
+    ``offset=None`` requests an append (the version manager fixes the
+    offset, §III-D); an explicit offset requests a write there.
+    """
+
+    blob_id: str
+    length: int
+    offset: Optional[int] = None
+
+
+@dataclass
+class CommitOutcome:
+    """Per-item result of one :meth:`VersionManagerCore.commit_batch`.
+
+    Exactly one of ``watermark``/``error`` is set.  ``hook_error``
+    accompanies a *successful* commit whose batch's watermark advance
+    tripped a publish hook — the snapshot IS published; the error is
+    report-only, mirroring the scalar :meth:`~VersionManagerCore.commit`
+    contract.
+    """
+
+    watermark: Optional[int] = None
+    error: Optional[BlobError] = None
+    hook_error: Optional[PublishHookError] = None
 
 
 @dataclass
@@ -300,6 +339,34 @@ class VersionManagerCore:
             raise InvalidRange(f"append length must be positive, got {length}")
         return self._assign(state, offset, length)
 
+    def assign_batch(
+        self, requests: Sequence[AssignRequest]
+    ) -> list[Union[WriteTicket, BlobError]]:
+        """Assign versions to many writers in one serialized step.
+
+        Requests are processed in order, so arrival order within the
+        batch IS assignment order (the per-blob ordering the group
+        commit must preserve).  Per-item isolation: a request that
+        fails validation gets its :class:`~repro.errors.BlobError` in
+        its slot — it consumes no version number (assignment validates
+        before recording) and later requests in the same batch are
+        unaffected.  The returned list is aligned with *requests*.
+        """
+        out: list[Union[WriteTicket, BlobError]] = []
+        for request in requests:
+            try:
+                if request.offset is None:
+                    out.append(self.assign_append(request.blob_id, request.length))
+                else:
+                    out.append(
+                        self.assign_write(
+                            request.blob_id, request.offset, request.length
+                        )
+                    )
+            except BlobError as exc:
+                out.append(exc)
+        return out
+
     def _validate_range(self, state: BlobState, offset: int, length: int, current_size: int) -> None:
         if length < 1:
             raise InvalidRange(f"write length must be positive, got {length}")
@@ -369,16 +436,64 @@ class VersionManagerCore:
         advances past *version* once **all** lower versions are also
         committed — the order in which "new snapshots are revealed to
         the readers must respect the order in which version numbers
-        have been assigned" (§III-A.4).
+        have been assigned" (§III-A.4).  A batch of one: the group
+        surface below is the single watermark-advance path.
         """
-        state = self.blob(blob_id)
-        if version < 1 or version > state.last_assigned:
-            raise VersionNotFound(f"version {version} of blob {blob_id!r} was never assigned")
-        if version in state.committed:
-            raise WriteConflict(f"version {version} of blob {blob_id!r} committed twice")
-        state.committed.add(version)
-        self._advance_watermark(state)
-        return state.published
+        outcome = self.commit_batch([(blob_id, version)])[0]
+        if outcome.error is not None:
+            raise outcome.error
+        if outcome.hook_error is not None:
+            raise outcome.hook_error
+        assert outcome.watermark is not None
+        return outcome.watermark
+
+    def commit_batch(
+        self, items: Sequence[tuple[str, int]]
+    ) -> list[CommitOutcome]:
+        """Record many completion reports in one serialized step.
+
+        Every valid item is marked committed first; then each touched
+        BLOB's watermark advances **once**, so the publish hooks fire
+        once per batch per BLOB with the final watermark (the full
+        committed range), not once per member.  Per-item isolation: an
+        invalid item (unassigned version, double commit — including a
+        duplicate *within* the batch) gets its error in its
+        :class:`CommitOutcome` without disturbing batch-mates.  A
+        raising publish hook is attached as ``hook_error`` to every
+        successfully committed member of that BLOB in this batch: they
+        are collectively the advancing commit, and the snapshots ARE
+        published (same report-only contract as the scalar path).
+        The returned list is aligned with *items*.
+        """
+        outcomes = [CommitOutcome() for _ in items]
+        touched: dict[str, list[int]] = {}
+        for i, (blob_id, version) in enumerate(items):
+            try:
+                state = self.blob(blob_id)
+                if version < 1 or version > state.last_assigned:
+                    raise VersionNotFound(
+                        f"version {version} of blob {blob_id!r} was never assigned"
+                    )
+                if version in state.committed:
+                    raise WriteConflict(
+                        f"version {version} of blob {blob_id!r} committed twice"
+                    )
+            except BlobError as exc:
+                outcomes[i].error = exc
+                continue
+            state.committed.add(version)
+            touched.setdefault(blob_id, []).append(i)
+        for blob_id, members in touched.items():
+            state = self._blobs[blob_id]
+            hook_error: Optional[PublishHookError] = None
+            try:
+                self._advance_watermark(state)
+            except PublishHookError as exc:
+                hook_error = exc
+            for i in members:
+                outcomes[i].watermark = state.published
+                outcomes[i].hook_error = hook_error
+        return outcomes
 
     def _advance_watermark(self, state: BlobState) -> None:
         """Advance the watermark; run every publish hook, then report.

@@ -17,6 +17,11 @@ Demonstrate the batched metadata pipeline (DESIGN.md §9)::
     repro metadata             # sequential vs batched descent, with stats
     repro metadata --blocks 96 --latency 0.002
 
+Demonstrate the group-commit publish pipeline (DESIGN.md §10)::
+
+    repro append               # per-writer vs batched vman round trips
+    repro append --writers 32 --vman-latency 0.005
+
 ``python -m repro.cli ...`` works identically.
 """
 
@@ -114,6 +119,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metadata.add_argument(
         "--reads", type=int, default=3, help="whole-BLOB reads per configuration"
+    )
+
+    append = sub.add_parser(
+        "append",
+        help=(
+            "group-commit demo: the same concurrent-append workload through "
+            "per-writer version-manager interactions and the batched publish "
+            "pipeline, with vman round-trip counts and batch sizes"
+        ),
+    )
+    append.add_argument(
+        "--writers", type=int, default=16, help="concurrent appender threads"
+    )
+    append.add_argument(
+        "--rounds", type=int, default=2, help="appends per writer"
+    )
+    append.add_argument(
+        "--blocks", type=int, default=4, help="blocks per append"
+    )
+    append.add_argument(
+        "--vman-latency",
+        type=float,
+        default=3e-3,
+        help="simulated service time per serialized version-manager interaction (s)",
+    )
+    append.add_argument(
+        "--window",
+        type=float,
+        default=2e-3,
+        help="group-commit window the batch leader waits out (s)",
+    )
+    append.add_argument(
+        "--io-workers", type=int, default=8, help="parallel I/O engine threads"
     )
     return parser
 
@@ -330,6 +368,116 @@ def _run_metadata_demo(args) -> int:
     return 0
 
 
+def _run_append_demo(args) -> int:
+    """Drive one concurrent-append workload through both publish paths.
+
+    Builds two otherwise-identical stores with simulated version-manager
+    service latency — one paying a serialized vman interaction per
+    writer per phase (the pre-refactor behavior, kept as the ablation
+    baseline), one batching assignments and completion reports through
+    the group-commit :class:`~repro.blob.store.PublishPipeline` with
+    the scatter/weave overlap (DESIGN.md §10) — and appends the same
+    data from N concurrent writers.  Reports wall time, vman round
+    trips and batch sizes, and fails unless round trips scale with
+    batches (not writers) and the pipeline wins wall-clock.
+    """
+    import threading
+
+    from repro.blob import LocalBlobStore
+
+    bs = 1024
+    writers = max(args.writers, 2)
+    rounds = max(args.rounds, 1)
+    payload_len = max(args.blocks, 1) * bs
+    total_ops = writers * rounds
+
+    def measure(label: str, group_commit: bool):
+        store = LocalBlobStore(
+            data_providers=8,
+            metadata_providers=4,
+            block_size=bs,
+            io_workers=args.io_workers,
+            vman_latency=args.vman_latency,
+            group_commit=group_commit,
+            publish_window=args.window if group_commit else 0.0,
+            overlap_publish=group_commit,
+        )
+        blob = store.create()
+        store.vman_stats.reset()
+        barrier = threading.Barrier(writers)
+        errors: list[Exception] = []
+
+        def appender(tid: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    store.append(blob, bytes([65 + tid % 26]) * payload_len)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=appender, args=(t,)) for t in range(writers)
+        ]
+        started = time.time()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.time() - started
+        stats = store.vman_stats.snapshot()
+        ok = not errors and store.latest_version(blob) == total_ops
+        size_ok = store.snapshot(blob).size == total_ops * payload_len
+        store.close()
+        if errors:
+            raise errors[0]
+        print(
+            f"  {label:<28} {elapsed:7.3f}s wall   "
+            f"{stats['vman_round_trips']:4d} vman round trips   "
+            f"max batch {max(stats['vman_max_assign_batch'], stats['vman_max_commit_batch']):3d}"
+        )
+        return elapsed, stats, ok and size_ok
+
+    print(
+        f"{writers} writers x{rounds} appends of {payload_len // bs} blocks at "
+        f"{args.vman_latency * 1e3:.1f}ms/vman interaction "
+        f"(window {args.window * 1e3:.1f}ms):"
+    )
+    per_time, per_stats, per_ok = measure("per-writer commits", group_commit=False)
+    grp_time, grp_stats, grp_ok = measure("group-commit pipeline", group_commit=True)
+
+    failures = []
+    if not per_ok or not grp_ok:
+        failures.append("a store finished with wrong version/size state")
+    # Per-writer: one assign + one commit interaction per append.
+    if per_stats["vman_round_trips"] < 2 * total_ops:
+        failures.append(
+            f"per-writer path took {per_stats['vman_round_trips']} round trips, "
+            f"expected >= {2 * total_ops}"
+        )
+    # Grouped: batches, not writers — demand at least a 2x reduction.
+    if grp_stats["vman_round_trips"] > total_ops:
+        failures.append(
+            f"group commit took {grp_stats['vman_round_trips']} round trips for "
+            f"{total_ops} appends; batching is not engaging"
+        )
+    if grp_stats["vman_max_commit_batch"] < 2:
+        failures.append("no commit batch ever coalesced two writers")
+    if grp_time >= per_time:
+        failures.append(
+            f"group commit not faster ({grp_time:.3f}s vs {per_time:.3f}s)"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: O(writers)={per_stats['vman_round_trips']} -> "
+        f"O(batches)={grp_stats['vman_round_trips']} vman round trips "
+        f"(largest batch {grp_stats['vman_max_commit_batch']}), "
+        f"{per_time / grp_time:.1f}x faster wall clock"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -344,6 +492,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "metadata":
         return _run_metadata_demo(args)
+
+    if args.command == "append":
+        return _run_append_demo(args)
 
     scale = FULL if args.full else QUICK
     which = sorted(ALL_FIGURES) if args.which == "all" else [args.which]

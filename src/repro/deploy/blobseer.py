@@ -72,6 +72,7 @@ class SimBlobSeer:
         placement: str = "round_robin",
         seed: int = 0,
         metadata_replication: int = 1,
+        commit_window: Optional[float] = None,
     ):
         if not provider_nodes:
             raise ValueError("need at least one data provider node")
@@ -147,6 +148,19 @@ class SimBlobSeer:
         #: covers a whole per-provider key/node group — the round-trip
         #: count the batching refactor optimizes; diagnostics surface).
         self.meta_rpcs = 0
+        #: Version-manager RPCs issued by client protocols — the
+        #: write-path twin of ``meta_rpcs`` (DESIGN.md §10): with a
+        #: ``commit_window`` every completion report coalesced into one
+        #: ``commit_batch`` request counts once, so under concurrent
+        #: appends this grows with batches, not writers.
+        self.vman_rpcs = 0
+        #: Group-commit window in simulated seconds (``None`` = the
+        #: historical one-commit-RPC-per-writer behavior).  Commits
+        #: arriving within one window ride a single ``commit_batch``
+        #: RPC carried by the window's first writer.
+        self.commit_window = commit_window
+        self._commit_pending: list[tuple] = []
+        self._commit_flusher_live = False
 
     @property
     def engine(self) -> Engine:
@@ -183,6 +197,12 @@ class SimBlobSeer:
         if op == "commit":
             _, blob_id, version = message
             return Reply(self.vm_core.commit(blob_id, version))
+        if op == "commit_batch":
+            # Group commit (DESIGN.md §10): one serialized step admits
+            # a whole window's completion reports; the watermark
+            # advances (and the publication gates open) once per batch.
+            outcomes = self.vm_core.commit_batch(list(message[1]))
+            return Reply(tuple(outcomes), size=16.0 * len(outcomes))
         if op == "info":
             _, blob_id, version = message
             if version is None:
@@ -272,6 +292,7 @@ class SimBlobSeer:
     ) -> Generator:
         """Create an empty BLOB (one version-manager RPC)."""
         bs = block_size if block_size is not None else self.cal.block_size
+        self.vman_rpcs += 1
         yield from call(client, self.vm_server, ("create", blob_id, bs, replication))
         return blob_id
 
@@ -333,6 +354,7 @@ class SimBlobSeer:
         yield self.engine.all_of(puts)
 
         # 3. version assignment — the only serialized step.
+        self.vman_rpcs += 1
         if offset is None:
             ticket: WriteTicket = yield from call(
                 client, self.vm_server, ("assign_append", blob_id, payload.size)
@@ -388,14 +410,76 @@ class SimBlobSeer:
             )
         yield self.engine.all_of(meta_puts)
 
-        # 5. report success; the watermark advances in version order.
-        yield from call(client, self.vm_server, ("commit", blob_id, ticket.version))
+        # 5. report success; the watermark advances in version order —
+        # through the group-commit window when one is configured.
+        yield from self._commit_version(client, blob_id, ticket.version)
         return ticket.version
 
     def append(self, client: SimNode, blob_id: str, data, **kwargs) -> Generator:
         """Append = write with the offset fixed by the version manager."""
         version = yield from self.write(client, blob_id, data, offset=None, **kwargs)
         return version
+
+    def _commit_version(self, client: SimNode, blob_id: str, version: int) -> Generator:
+        """Report one write's completion; returns the new watermark.
+
+        Without a ``commit_window`` this is the historical per-writer
+        ``commit`` RPC.  With one, the report joins the current window:
+        the window's first writer spawns the flusher, which waits out
+        the window and ships **one** ``commit_batch`` RPC for every
+        report that accumulated — O(batches), not O(writers), vman
+        round trips under fig5-style append concurrency.  Per-item
+        outcomes come back to their own writers (a batch-mate's invalid
+        commit fails that writer alone).
+        """
+        if self.commit_window is None:
+            self.vman_rpcs += 1
+            watermark = yield from call(
+                client, self.vm_server, ("commit", blob_id, version)
+            )
+            return watermark
+        done = self.engine.event()
+        self._commit_pending.append((blob_id, version, done))
+        if not self._commit_flusher_live:
+            self._commit_flusher_live = True
+            self.engine.process(
+                self._flush_commit_window(client), name="vman-commit-flush"
+            )
+        watermark = yield done
+        return watermark
+
+    def _flush_commit_window(self, client: SimNode) -> Generator:
+        """Ship one ``commit_batch`` RPC for the window's reports.
+
+        A failing RPC (version-manager node down, handler error) is
+        delivered to **every** writer parked on the window — the
+        per-writer path would have handed each of them the same
+        failure, and a dead flusher must never strand its batch (the
+        sim twin of ``_GroupBatcher``'s route-to-unsettled guard).
+        """
+        yield self.engine.timeout(self.commit_window)
+        batch, self._commit_pending = self._commit_pending, []
+        # Reports arriving during the RPC below open a fresh window.
+        self._commit_flusher_live = False
+        self.vman_rpcs += 1
+        try:
+            outcomes = yield from call(
+                client,
+                self.vm_server,
+                ("commit_batch", tuple((b, v) for b, v, _ in batch)),
+                request_size=24.0 * len(batch),
+            )
+        except Exception as exc:
+            for _, _, done in batch:
+                done.fail(exc)
+            return
+        for (_, _, done), outcome in zip(batch, outcomes):
+            if outcome.error is not None:
+                done.fail(outcome.error)
+            elif outcome.hook_error is not None:
+                done.fail(outcome.hook_error)
+            else:
+                done.succeed(outcome.watermark)
 
     def read(
         self,
@@ -411,6 +495,7 @@ class SimBlobSeer:
         ``consume_rate`` caps each block transfer (the reader processes
         data as it streams); ``None`` reads at wire speed.
         """
+        self.vman_rpcs += 1
         info = yield from call(client, self.vm_server, ("info", blob_id, version))
         if size is None:
             size = info.size - offset

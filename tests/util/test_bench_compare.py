@@ -89,3 +89,61 @@ def test_main_exit_codes_and_update(tmp_path):
             bench["stats"]["mean"] *= 1.3
     current_json.write_text(json.dumps(slowed))
     assert bench_compare.main([str(current_json), "--baseline", str(baseline)]) == 1
+
+
+def _write_run(path, means):
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"name": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+
+
+def test_write_baseline_stores_the_median_of_several_runs(tmp_path):
+    # Middle run is the honest one; the outliers must cancel out.
+    runs = []
+    for i, factor in enumerate((0.5, 1.0, 3.0)):
+        path = tmp_path / f"bench-{i}.json"
+        _write_run(path, {name: mean * factor for name, mean in BASE.items()})
+        runs.append(str(path))
+    baseline = tmp_path / "baseline.json"
+    assert (
+        bench_compare.main(runs + ["--baseline", str(baseline), "--write-baseline"])
+        == 0
+    )
+    stored = bench_compare.load_means(baseline, bench_compare.DEFAULT_PATTERN)
+    assert stored == BASE  # factor 1.0 — the median run
+
+
+def test_median_tolerates_a_partial_run():
+    full = dict(BASE)
+    partial = {k: v * 2 for k, v in BASE.items() if k != "test_fig5_concurrent_appends"}
+    merged = bench_compare.median_means([full, partial])
+    assert merged["test_fig5_concurrent_appends"] == BASE["test_fig5_concurrent_appends"]
+    assert set(merged) == set(BASE)
+
+
+def test_warn_only_reports_but_exits_zero(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    bench_compare.write_baseline(baseline, BASE)
+    current_json = tmp_path / "bench.json"
+    _write_run(current_json, dict(BASE, test_fig4_concurrent_reads=2.0 * 1.5))
+    args = [str(current_json), "--baseline", str(baseline)]
+    assert bench_compare.main(args) == 1
+    assert bench_compare.main(args + ["--warn-only"]) == 0
+
+
+def test_multiple_runs_without_write_baseline_is_an_error(tmp_path):
+    paths = []
+    for i in range(2):
+        path = tmp_path / f"bench-{i}.json"
+        _write_run(path, BASE)
+        paths.append(str(path))
+    baseline = tmp_path / "baseline.json"
+    bench_compare.write_baseline(baseline, BASE)
+    assert bench_compare.main(paths + ["--baseline", str(baseline)]) == 1
