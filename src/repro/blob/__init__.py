@@ -12,10 +12,12 @@ from repro.blob.block import (
     BlockDescriptor,
     BlockId,
     BytesPayload,
+    CopyStats,
     Payload,
     SyntheticPayload,
     ZeroBlockDescriptor,
     concat,
+    materialize,
 )
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.diff import BlockRange, changed_ranges, diff_snapshots
@@ -70,6 +72,8 @@ __all__ = [
     "SyntheticPayload",
     "Payload",
     "concat",
+    "materialize",
+    "CopyStats",
     "BlockDescriptor",
     "ZeroBlockDescriptor",
     "AnyBlockDescriptor",

@@ -12,12 +12,33 @@ same protocol code in two modes:
 
 Both honour the same interface, so providers, caches and clients never
 branch on the mode.
+
+**Zero-copy discipline (DESIGN.md §11).**  A :class:`BytesPayload`
+wraps *any* buffer-protocol object — ``bytes``, ``bytearray`` or
+``memoryview`` — and :meth:`BytesPayload.slice` returns a zero-copy
+*view* of the same buffer.  Data therefore flows through the block path
+(chunking → scatter → provider → gather → reassembly) without being
+re-materialized at every hop; the only sanctioned copies are
+
+* **copy-on-publish** (:meth:`BytesPayload.freeze`): a provider storing
+  a view over a *mutable* caller buffer snapshots it once, so published
+  blocks can never change underneath readers;
+* **the gather** (:meth:`BytesPayload.readinto`): a read assembles the
+  requested range into one preallocated buffer, each block copied
+  exactly once;
+* **the user-facing result** (:func:`materialize`): the final
+  ``bytes()`` handed back to the caller.
+
+:class:`CopyStats` counts those copies (and the bytes that legitimately
+crossed a provider boundary) per layer, which is how the tests pin the
+"one read of N bytes materializes ≤ 1×N client-side" invariant.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 __all__ = [
     "BytesPayload",
@@ -27,15 +48,113 @@ __all__ = [
     "ZeroBlockDescriptor",
     "AnyBlockDescriptor",
     "BlockId",
+    "CopyStats",
     "concat",
+    "materialize",
 ]
+
+#: Buffer-protocol objects a :class:`BytesPayload` may wrap.
+BytesLike = Union[bytes, bytearray, memoryview]
+
+
+class CopyStats:
+    """Byte-movement counters for the data plane (thread-safe).
+
+    The data-plane sibling of :class:`~repro.dht.store.DhtStats` and
+    :class:`~repro.blob.store.VmanStats`: where those count round
+    trips, this counts *bytes* — separating the bytes a protocol step
+    legitimately moved from the bytes it needlessly re-materialized.
+
+    * ``bytes_copied`` — client-side materializations: every byte
+      duplicated into a new buffer (the gather into a read's result
+      buffer, a provider's copy-on-publish freeze, any legacy slice
+      copy).  The zero-copy refactor's target: a read of N bytes keeps
+      this ≤ N (one gather), where the pre-refactor path paid ~3–4×.
+    * ``bytes_transferred`` — bytes that crossed a provider boundary
+      (block put/get traffic); unavoidable, and unchanged by the
+      refactor — the counter pair proves copies dropped while transfers
+      stayed constant.
+    * ``bytes_result`` — bytes materialized as the user-facing return
+      value (the final ``bytes()`` a caller asked for; not a waste,
+      tracked separately so ``bytes_copied`` measures pure overhead).
+
+    Every record names the layer it happened at (``"read.gather"``,
+    ``"provider.freeze"``, …); :meth:`layers` exposes the per-layer
+    breakdown the ``repro.cli zerocopy`` demo prints.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._layers: dict[str, dict[str, int]] = {}
+        self.bytes_copied = 0
+        self.bytes_transferred = 0
+        self.bytes_result = 0
+
+    def record(
+        self,
+        layer: str,
+        copied: int = 0,
+        transferred: int = 0,
+        result: int = 0,
+    ) -> None:
+        """Count *copied*/*transferred*/*result* bytes against *layer*."""
+        with self._lock:
+            self.bytes_copied += copied
+            self.bytes_transferred += transferred
+            self.bytes_result += result
+            per = self._layers.setdefault(
+                layer, {"copied": 0, "transferred": 0, "result": 0}
+            )
+            per["copied"] += copied
+            per["transferred"] += transferred
+            per["result"] += result
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the totals."""
+        with self._lock:
+            return {
+                "bytes_copied": self.bytes_copied,
+                "bytes_transferred": self.bytes_transferred,
+                "bytes_result": self.bytes_result,
+            }
+
+    def layers(self) -> dict[str, dict[str, int]]:
+        """Per-layer breakdown (layer name -> copied/transferred/result)."""
+        with self._lock:
+            return {name: dict(counts) for name, counts in sorted(self._layers.items())}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._layers.clear()
+            self.bytes_copied = 0
+            self.bytes_transferred = 0
+            self.bytes_result = 0
 
 
 @dataclass(frozen=True)
 class BytesPayload:
-    """A payload backed by real bytes."""
+    """A payload backed by real bytes — any buffer-protocol object.
 
-    data: bytes
+    ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview``;
+    :meth:`slice` returns a zero-copy view either way.  Ownership rules
+    (DESIGN.md §11): a payload over a *read-only* buffer is safe to
+    alias forever (published blocks are immutable); a payload over a
+    caller's *mutable* buffer is a transient view that a provider must
+    :meth:`freeze` before storing.
+    """
+
+    data: BytesLike
+
+    def __post_init__(self) -> None:
+        try:
+            view = memoryview(self.data)
+        except TypeError:
+            raise TypeError(
+                f"payload data must support the buffer protocol, "
+                f"got {type(self.data).__name__}"
+            ) from None
+        if view.itemsize != 1 or not view.contiguous:
+            raise TypeError("payload buffers must be contiguous byte buffers")
 
     @property
     def size(self) -> int:
@@ -47,17 +166,71 @@ class BytesPayload:
         """True: contents are materialised."""
         return True
 
+    @property
+    def readonly(self) -> bool:
+        """Whether the backing buffer is immutable (safe to alias)."""
+        return memoryview(self.data).readonly
+
     def slice(self, start: int, length: int) -> "BytesPayload":
-        """Sub-payload ``[start, start+length)`` (bounds-checked)."""
+        """Zero-copy sub-view ``[start, start+length)`` (bounds-checked)."""
         if start < 0 or length < 0 or start + length > len(self.data):
             raise ValueError(
                 f"slice [{start}, {start + length}) outside payload of {len(self.data)}B"
             )
-        return BytesPayload(self.data[start : start + length])
+        return BytesPayload(memoryview(self.data)[start : start + length])
+
+    def view(self) -> memoryview:
+        """A zero-copy view of the whole payload.
+
+        Legal to hand out freely for *published* (frozen) payloads —
+        block immutability is exactly what makes aliased read-only views
+        safe (DESIGN.md §11).
+        """
+        return memoryview(self.data)
+
+    def readinto(self, dest, start: int = 0, length: Optional[int] = None) -> int:
+        """Copy ``[start, start+length)`` into *dest*; returns bytes written.
+
+        The vectored-gather primitive: *dest* is a writable buffer
+        (typically a ``memoryview`` window of a read's single
+        preallocated result buffer), and this is the ONE copy a block's
+        bytes make on the read path.
+        """
+        if length is None:
+            length = len(self.data) - start
+        if start < 0 or length < 0 or start + length > len(self.data):
+            raise ValueError(
+                f"readinto [{start}, {start + length}) outside payload "
+                f"of {len(self.data)}B"
+            )
+        window = memoryview(dest)
+        if window.readonly:
+            raise TypeError("readinto needs a writable destination buffer")
+        if len(window) < length:
+            raise ValueError(
+                f"destination holds {len(window)}B, needed {length}B"
+            )
+        window[:length] = memoryview(self.data)[start : start + length]
+        return length
+
+    def freeze(self) -> "BytesPayload":
+        """An immutable-backed payload with the same contents.
+
+        Returns ``self`` (no copy) when the backing buffer is already
+        read-only; otherwise snapshots the view into fresh ``bytes`` —
+        the copy-on-publish providers perform so a stored block can
+        never alias a caller's mutable buffer (DESIGN.md §11).
+        """
+        view = memoryview(self.data)
+        if view.readonly:
+            return self
+        return BytesPayload(view.tobytes())
 
     def tobytes(self) -> bytes:
-        """The raw bytes."""
-        return self.data
+        """The raw bytes (no copy when already immutable ``bytes``)."""
+        if type(self.data) is bytes:
+            return self.data
+        return bytes(self.data)
 
 
 @dataclass(frozen=True)
@@ -86,6 +259,11 @@ class SyntheticPayload:
         """False: contents are not materialised."""
         return False
 
+    @property
+    def readonly(self) -> bool:
+        """Synthetic payloads have nothing to mutate."""
+        return True
+
     def slice(self, start: int, length: int) -> "SyntheticPayload":
         """Sub-payload of the same tag with the sliced size."""
         if start < 0 or length < 0 or start + length > self.nbytes:
@@ -93,6 +271,18 @@ class SyntheticPayload:
                 f"slice [{start}, {start + length}) outside payload of {self.nbytes}B"
             )
         return SyntheticPayload(length, tag=self.tag)
+
+    def view(self) -> memoryview:
+        """Refused: synthetic payloads have no contents by construction."""
+        raise TypeError("synthetic payloads carry no bytes (simulation-only data)")
+
+    def readinto(self, dest, start: int = 0, length: Optional[int] = None) -> int:
+        """Refused: synthetic payloads have no contents by construction."""
+        raise TypeError("synthetic payloads carry no bytes (simulation-only data)")
+
+    def freeze(self) -> "SyntheticPayload":
+        """Already immutable (there is nothing to copy)."""
+        return self
 
     def tobytes(self) -> bytes:
         """Refused: synthetic payloads have no contents by construction."""
@@ -105,12 +295,40 @@ Payload = Union[BytesPayload, SyntheticPayload]
 def concat(parts: list[Payload]) -> Payload:
     """Join payload parts: real bytes if all parts are real, else synthetic.
 
-    Mixed concatenation degrades to synthetic (size-only) — mixing only
+    The real case gathers every part into ONE preallocated buffer via
+    :meth:`BytesPayload.readinto` (each byte copied exactly once) —
+    no intermediate per-part materialization, no join copy.  Mixed
+    concatenation degrades to synthetic (size-only) — mixing only
     happens in simulated experiments, never on the functional path.
     """
     if all(p.is_real for p in parts):
-        return BytesPayload(b"".join(p.tobytes() for p in parts))
+        if not parts:
+            return BytesPayload(b"")
+        buffer = bytearray(sum(p.size for p in parts))
+        position = 0
+        for part in parts:
+            part.readinto(memoryview(buffer)[position : position + part.size])
+            position += part.size
+        return BytesPayload(buffer)
     return SyntheticPayload(sum(p.size for p in parts), tag="concat")
+
+
+def materialize(
+    payload: Payload,
+    stats: Optional[CopyStats] = None,
+    layer: str = "result",
+) -> bytes:
+    """The sanctioned user-facing ``bytes()`` of a payload.
+
+    The ONLY place the blob layer converts an assembled payload into
+    caller-owned ``bytes`` (the hot-path lint forbids raw ``tobytes``
+    calls there); records the materialization against *stats* so
+    ``bytes_copied`` keeps measuring pure overhead.
+    """
+    data = payload.tobytes()
+    if stats is not None:
+        stats.record(layer, result=len(data))
+    return data
 
 
 #: Storage identity of one block: (blob_id, write nonce, position in write).

@@ -21,6 +21,11 @@ wrapper fixing that:
   is what the write protocol's "the whole write fails" rule needs.
 * :meth:`submit` exposes plain futures for opportunistic work
   (read-ahead prefetching in the client cache).
+* the read path uses :meth:`map` as a **vectored gather**: the store
+  preallocates ONE buffer for the requested range and every mapped
+  task ``readinto``\\ s its block's disjoint ``memoryview`` window —
+  safe to fill concurrently precisely because the windows never
+  overlap (DESIGN.md §11).
 
 One engine is shared per :class:`~repro.blob.store.LocalBlobStore`, so
 every layer above (BSFS streams, the MapReduce record readers) draws

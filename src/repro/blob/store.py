@@ -54,8 +54,10 @@ from repro.blob.block import (
     AnyBlockDescriptor,
     BlockDescriptor,
     BytesPayload,
+    CopyStats,
     Payload,
-    concat,
+    SyntheticPayload,
+    materialize,
 )
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.io_engine import ParallelIOEngine
@@ -85,7 +87,7 @@ from repro.errors import (
     ReplicationError,
 )
 from repro.util.bytesize import MB, parse_size
-from repro.util.chunks import split_range
+from repro.util.chunks import dest_windows, split_range
 
 __all__ = [
     "LocalBlobStore",
@@ -113,8 +115,16 @@ class BlockLocation:
 
 
 def _split_payload(data: Union[bytes, Payload], block_size: int) -> list[Payload]:
-    """Cut client data into block-sized payloads (trailing may be short)."""
-    payload: Payload = BytesPayload(data) if isinstance(data, (bytes, bytearray)) else data
+    """Cut client data into block-sized payloads (trailing may be short).
+
+    The cuts are zero-copy ``memoryview`` windows over the caller's
+    buffer (DESIGN.md §11): no byte is duplicated until each window
+    reaches its provider, which freezes it on store only if the backing
+    buffer is mutable.
+    """
+    payload: Payload = (
+        BytesPayload(data) if isinstance(data, (bytes, bytearray, memoryview)) else data
+    )
     if payload.size == 0:
         raise InvalidRange("cannot write zero bytes")
     return [
@@ -421,6 +431,9 @@ class LocalBlobStore:
         self.metadata_batching = metadata_batching
         self.vman_latency = vman_latency
         self.vman_stats = VmanStats()
+        #: Data-plane byte accounting (DESIGN.md §11): bytes copied vs
+        #: transferred at each block hop, shared with every provider.
+        self.copy_stats = CopyStats()
         self.overlap_publish = overlap_publish
         self.version_manager = VersionManagerCore()
         self.publish_pipeline: Optional[PublishPipeline] = (
@@ -432,7 +445,9 @@ class LocalBlobStore:
         self.providers: dict[str, DataProviderCore] = {}
         for name in data_providers:
             self.provider_manager.register(name)
-            self.providers[name] = DataProviderCore(name, latency=provider_latency)
+            self.providers[name] = DataProviderCore(
+                name, latency=provider_latency, copy_stats=self.copy_stats
+            )
         #: Shared scatter-gather pool; ``None`` means inline (serial) I/O.
         #: Created before the metadata service so the DHT can fan one
         #: batched round's per-bucket requests over the same pool.
@@ -998,8 +1013,17 @@ class LocalBlobStore:
         size: Optional[int] = None,
         version: Optional[int] = None,
     ) -> bytes:
-        """Read bytes from a snapshot (defaults: whole latest snapshot)."""
-        return self.read_payload(blob_id, offset, size, version).tobytes()
+        """Read bytes from a snapshot (defaults: whole latest snapshot).
+
+        The only sanctioned materialization on the read path: the
+        gathered payload becomes user-facing ``bytes`` exactly once,
+        accounted as ``read.result`` (DESIGN.md §11).
+        """
+        return materialize(
+            self.read_payload(blob_id, offset, size, version),
+            self.copy_stats,
+            layer="read.result",
+        )
 
     def read_payload(
         self,
@@ -1008,7 +1032,17 @@ class LocalBlobStore:
         size: Optional[int] = None,
         version: Optional[int] = None,
     ) -> Payload:
-        """Read as a payload (synthetic-safe variant of :meth:`read`)."""
+        """Read as a payload (synthetic-safe variant of :meth:`read`).
+
+        Vectored gather (DESIGN.md §11): ONE ``bytearray`` is
+        preallocated for the whole range and every touched block copies
+        its covered run directly into its disjoint window — in parallel
+        over the I/O engine — so the read path materializes each byte
+        exactly once.  Tombstone zero ranges cost nothing (the buffer
+        is born zeroed), and a read covering exactly one whole stored
+        block aliases the provider's immutable payload with no copy at
+        all.
+        """
         info = self.snapshot(blob_id, version)
         if size is None:
             size = info.size - offset
@@ -1019,22 +1053,57 @@ class LocalBlobStore:
         if size == 0:
             return BytesPayload(b"")
         descriptors = self._collect_descriptors(info, offset, size)
-        # Gather the touched blocks — concurrently, when the store has
-        # an I/O engine; each block still fails over between replicas
-        # independently inside ``_fetch_block``.
-        payloads = self._map_io(self._fetch_block, descriptors)
-        parts: list[Payload] = []
-        for slice_, descriptor, payload in zip(
-            split_range(offset, size, info.block_size), descriptors, payloads
-        ):
+
+        if len(descriptors) == 1 and not descriptors[0].is_zero:
+            payload = self._fetch_block(descriptors[0])
+            slice_ = next(iter(split_range(offset, size, info.block_size)))
+            want_end = slice_.start + slice_.length
+            if want_end > payload.size:
+                raise InvalidRange(
+                    f"block {descriptors[0].index} holds {payload.size}B, "
+                    f"needed [{slice_.start}, {want_end})"
+                )
+            if slice_.start == 0 and slice_.length == payload.size:
+                # Whole-block read: hand out the stored payload itself
+                # — published blocks are immutable, aliasing is free.
+                self.copy_stats.record("read.alias", transferred=size)
+                return payload
+
+        buffer = bytearray(size)
+        # Window the destination in the caller's thread; the per-block
+        # gathers then fill disjoint windows concurrently, and each
+        # block still fails over between replicas independently inside
+        # ``_fetch_block``.
+        windows = dest_windows(buffer, offset, size, info.block_size)
+        tasks = list(zip(windows, descriptors))
+
+        def gather(task: tuple) -> Optional[Payload]:
+            (slice_, window), descriptor = task
+            if descriptor.is_zero:
+                # Tombstone filler (DESIGN.md §7): the range reads as
+                # zeros, which the preallocated buffer already holds —
+                # no provider fetch, no copy.
+                return None
+            payload = self._fetch_block(descriptor)
             want_end = slice_.start + slice_.length
             if want_end > payload.size:
                 raise InvalidRange(
                     f"block {descriptor.index} holds {payload.size}B, "
                     f"needed [{slice_.start}, {want_end})"
                 )
-            parts.append(payload.slice(slice_.start, slice_.length))
-        return concat(parts)
+            if isinstance(payload, SyntheticPayload):
+                return payload.slice(slice_.start, slice_.length)
+            copied = payload.readinto(window, start=slice_.start, length=slice_.length)
+            self.copy_stats.record("read.gather", copied=copied, transferred=copied)
+            return None
+
+        leftovers = self._map_io(gather, tasks)
+        if any(part is not None for part in leftovers):
+            # Some blocks were synthetic stand-ins carrying no bytes
+            # (benchmark writes): the assembled range is synthetic too,
+            # exactly as the old ``concat`` of mixed parts behaved.
+            return SyntheticPayload(size, tag="concat")
+        return BytesPayload(buffer)
 
     def key_resolver(self):
         """Map tree-node keys to their owning BLOB (branch lineage)."""

@@ -21,20 +21,28 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import Future
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.blob.io_engine import ParallelIOEngine
 from repro.errors import InvalidRange
 
 __all__ = ["BlockReadCache", "WriteBuffer"]
 
+#: What a block fetch may return: ``bytes``, or a read-only view over
+#: the store's immutable payload (zero-copy; DESIGN.md §11).
+BlockData = Union[bytes, memoryview]
+
 
 class BlockReadCache:
     """Whole-block prefetching read cache (LRU).
 
     Args:
-        fetch_block: ``fetch_block(index) -> bytes`` reading one whole
-            block from the backend (trailing block may be short).
+        fetch_block: ``fetch_block(index) -> bytes | memoryview``
+            reading one whole block from the backend (trailing block
+            may be short).  Returning a read-only view keeps the cache
+            zero-copy: cached blocks alias the store's immutable
+            payloads and only :meth:`pread` results materialize
+            (DESIGN.md §11).
         block_size: striping unit.
         file_size: immutable size of the snapshot being read.
         capacity: number of blocks kept (Hadoop keeps ~1; a little more
@@ -46,7 +54,7 @@ class BlockReadCache:
 
     def __init__(
         self,
-        fetch_block: Callable[[int], bytes],
+        fetch_block: Callable[[int], "BlockData"],
         block_size: int,
         file_size: int,
         capacity: int = 2,
@@ -69,11 +77,11 @@ class BlockReadCache:
         self.capacity = capacity
         self._engine = engine
         self.readahead = readahead
-        self._blocks: OrderedDict[int, bytes] = OrderedDict()
+        self._blocks: OrderedDict[int, BlockData] = OrderedDict()
         # In-flight read-ahead fetches, keyed by block index.  Only the
         # cache's owning thread touches this dict; engine threads just
         # run the fetch callable inside the future.
-        self._pending: dict[int, "Future[bytes]"] = {}
+        self._pending: dict[int, "Future[BlockData]"] = {}
         # Last block index served; read-ahead only triggers while the
         # access pattern stays sequential (Hadoop's pattern), so random
         # preads don't turn into a background-fetch amplifier.
@@ -86,7 +94,7 @@ class BlockReadCache:
     def _last_block(self) -> int:
         return max(0, (self.file_size - 1) // self.block_size)
 
-    def _admit(self, index: int, data: bytes) -> bytes:
+    def _admit(self, index: int, data: "BlockData") -> "BlockData":
         expected = min(self.block_size, self.file_size - index * self.block_size)
         if len(data) != expected:
             raise InvalidRange(
@@ -127,13 +135,13 @@ class BlockReadCache:
             self._pending[ahead] = self._engine.submit(self._fetch, ahead)
             self.fetches += 1
 
-    def _block(self, index: int) -> bytes:
+    def _block(self, index: int) -> "BlockData":
         if index in self._blocks:
             self._blocks.move_to_end(index)
             self._readahead(index)
             return self._blocks[index]
         future = self._pending.pop(index, None)
-        data: Optional[bytes] = None
+        data: Optional[BlockData] = None
         if future is not None:
             try:
                 data = future.result()  # fetch already counted at submit
@@ -158,17 +166,31 @@ class BlockReadCache:
             )
         if size == 0:
             return b""
-        parts = []
+        index = offset // self.block_size
+        start = offset - index * self.block_size
+        if start + size <= self.block_size:
+            # Single-block read — Hadoop's few-KB sequential pattern,
+            # so the overwhelmingly common case: slice the cached block
+            # through a view and materialize the result in ONE copy
+            # (a whole bytes-backed block passes through with none).
+            block = self._block(index)
+            if start == 0 and size == len(block) and type(block) is bytes:
+                return block
+            return bytes(memoryview(block)[start : start + size])
+        out = bytearray(size)
+        dest = memoryview(out)
         position = offset
         remaining = size
         while remaining > 0:
             index = position // self.block_size
             start = position - index * self.block_size
             take = min(self.block_size - start, remaining)
-            parts.append(self._block(index)[start : start + take])
+            at = position - offset
+            dest[at : at + take] = memoryview(self._block(index))[start : start + take]
             position += take
             remaining -= take
-        return b"".join(parts)
+        dest.release()
+        return bytes(out)
 
 
 class WriteBuffer:
@@ -220,7 +242,12 @@ class WriteBuffer:
         self._buffer.extend(data)
         full = (len(self._buffer) // self.block_size) * self.block_size
         if full:
-            chunk = bytes(self._buffer[:full])
+            # Freeze the completed window in ONE copy: a transient
+            # memoryview selects the window without duplicating it
+            # first (``self._buffer[:full]`` would), and dies before
+            # the ``del`` resizes the buffer (which would otherwise
+            # raise BufferError on the exported view).
+            chunk = bytes(memoryview(self._buffer)[:full])
             del self._buffer[:full]
             self._commit(self._committed, chunk)
             self.commits += 1

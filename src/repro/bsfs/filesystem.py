@@ -98,12 +98,16 @@ class BSFSReadStream(ReadStream):
             readahead=readahead if engine is not None else 0,
         )
 
-    def _fetch_block(self, index: int) -> bytes:
+    def _fetch_block(self, index: int) -> memoryview:
         offset = index * self._cache.block_size
         length = min(self._cache.block_size, self._size - offset)
-        return self._store.read(
+        # Whole-block fetch of an immutable snapshot: keep it as a
+        # zero-copy view — the store aliases the provider's stored
+        # payload for exactly this shape of read, so the cache holds
+        # views and only pread() results materialize (DESIGN.md §11).
+        return self._store.read_payload(
             self._blob_id, offset=offset, size=length, version=self.version
-        )
+        ).view()
 
     @property
     def size(self) -> int:

@@ -32,8 +32,10 @@ from repro.blob.block import (
     AnyBlockDescriptor,
     BlockDescriptor,
     BytesPayload,
+    CopyStats,
     Payload,
     SyntheticPayload,
+    concat,
 )
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.provider_manager import ProviderManagerCore
@@ -87,10 +89,15 @@ class SimBlobSeer:
         self.pm_core = ProviderManagerCore(
             policy=placement, rng=np.random.default_rng(seed)
         )
+        #: Data-plane byte accounting shared by every simulated
+        #: provider (DESIGN.md §11).
+        self.copy_stats = CopyStats()
         self.dp_cores: dict[str, DataProviderCore] = {}
         for node in provider_nodes:
             self.pm_core.register(node.name)
-            self.dp_cores[node.name] = DataProviderCore(node.name)
+            self.dp_cores[node.name] = DataProviderCore(
+                node.name, copy_stats=self.copy_stats
+            )
         self.ring = HashRing([n.name for n in metadata_nodes])
         self.md_buckets: dict[str, dict[NodeKey, TreeNode]] = {
             n.name: {} for n in metadata_nodes
@@ -555,9 +562,12 @@ class SimBlobSeer:
             )
         results = yield self.engine.all_of(fetches)
         total = sum(results[p].size for p in fetches)
+        # ``concat`` gathers real parts into ONE preallocated buffer
+        # (vectored assembly, DESIGN.md §11); mixed/synthetic parts
+        # degrade to a synthetic payload of the same size.
         return SyntheticPayload(total, tag=blob_id) if not all(
             results[p].is_real for p in fetches
-        ) else _join_real([results[p] for p in fetches])
+        ) else concat([results[p] for p in fetches])
 
     def _fetch_block(
         self,
@@ -656,9 +666,3 @@ class SimBlobSeer:
             for key in plan.take_frontier():
                 plan.feed(key, self.md_buckets[self.ring.lookup(key)][key])
         return [d.providers for d in plan.blocks()]
-
-
-def _join_real(parts: list[Payload]) -> Payload:
-    from repro.blob.block import concat
-
-    return concat(parts)

@@ -29,12 +29,18 @@ class DatanodeCore:
             raise ProviderUnavailable(f"datanode {self.name} is down")
 
     def put_chunk(self, chunk_id: int, payload: Payload) -> None:
-        """Store a chunk (write-once)."""
+        """Store a chunk (write-once).
+
+        Copy-on-publish, like the BlobSeer provider (DESIGN.md §11): a
+        payload viewing mutable client memory is snapshotted here so
+        readers may alias stored chunks freely.
+        """
         self._check_online()
         if chunk_id in self._chunks:
             raise WriteConflict(f"chunk {chunk_id} already on datanode {self.name}")
-        self._chunks[chunk_id] = payload
-        self.stored_bytes += payload.size
+        frozen = payload.freeze()
+        self._chunks[chunk_id] = frozen
+        self.stored_bytes += frozen.size
 
     def get_chunk(self, chunk_id: int) -> Payload:
         """Fetch a chunk (KeyError if absent)."""

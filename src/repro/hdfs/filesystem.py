@@ -91,7 +91,7 @@ class HDFSReadStream(ReadStream):
             file_size=self._size,
         )
 
-    def _fetch_chunk(self, index: int) -> bytes:
+    def _fetch_chunk(self, index: int) -> memoryview:
         chunk = self._chunks[index]
         last_error: Optional[Exception] = None
         for datanode_name in chunk.datanodes:
@@ -100,7 +100,11 @@ class HDFSReadStream(ReadStream):
                 last_error = ProviderUnavailable(f"{datanode_name} is down")
                 continue
             try:
-                return datanode.get_chunk(chunk.chunk_id).tobytes()
+                # View, not ``.tobytes()``: a partial read of a 64 MB
+                # chunk used to materialize all 64 MB before slicing —
+                # stored chunks are immutable, so the cache can alias
+                # them and let pread() copy only the requested bytes.
+                return datanode.get_chunk(chunk.chunk_id).view()
             except KeyError as exc:
                 last_error = exc
         raise ProviderUnavailable(

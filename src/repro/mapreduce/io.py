@@ -145,19 +145,31 @@ def iter_lines(stream: ReadStream, offset: int, length: int) -> Iterator[tuple[i
             position = _scan_to_newline(stream, offset)
     while position < end:
         line_start = position
-        pieces = []
+        first = stream.pread(position, min(IO_CHUNK, size - position))
+        newline = first.find(b"\n")
+        if newline >= 0:
+            # Fast path — the whole line sits in one chunk (almost
+            # always, at few-KB chunks): decode the slice directly,
+            # no accumulator.
+            position += newline + 1
+            yield (line_start, first[:newline].decode("utf-8", errors="replace"))
+            continue
+        # Long line spanning chunks: grow ONE bytearray in place and
+        # decode it directly — no pieces list, no ``b"".join`` copy.
+        pieces = bytearray(first)
+        position += len(first)
         while True:
             chunk = stream.pread(position, min(IO_CHUNK, size - position))
             if not chunk:
                 break
             newline = chunk.find(b"\n")
             if newline >= 0:
-                pieces.append(chunk[:newline])
+                pieces += memoryview(chunk)[:newline]
                 position += newline + 1
                 break
-            pieces.append(chunk)
+            pieces += chunk
             position += len(chunk)
-        yield (line_start, b"".join(pieces).decode("utf-8", errors="replace"))
+        yield (line_start, pieces.decode("utf-8", errors="replace"))
 
 
 def write_text_records(
