@@ -7,7 +7,7 @@ operations per 4 KB-pattern scan, with and without batching.
 
 from conftest import emit
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 
 BS = 64 * 1024  # 64 KB blocks, 4 KB client I/O -> 16 touches per block
@@ -16,7 +16,7 @@ TOUCH = 4 * 1024
 
 def make_fs():
     return BSFSFileSystem(
-        store=LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
     )
 
 

@@ -21,7 +21,7 @@ import time
 
 from conftest import emit
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 
 BLOCK = 4 * 1024
 BLOCKS = 48
@@ -36,7 +36,7 @@ META_LATENCY = 0.0015
 def _measure(batched: bool) -> dict:
     """Aggregate MB/s of CLIENTS threads reading the same BLOB, plus
     the metadata round-trip count of one cold read."""
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=8,
         metadata_providers=6,
         block_size=BLOCK,
@@ -44,7 +44,7 @@ def _measure(batched: bool) -> dict:
         metadata_latency=META_LATENCY,
         metadata_batching=batched,
         metadata_cache_nodes=1024 if batched else 0,
-    )
+    ))
     try:
         blob = store.create()
         data = b"m" * (BLOCKS * BLOCK)

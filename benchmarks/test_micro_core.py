@@ -11,6 +11,7 @@ from repro.blob import (
     LocalBlobStore,
     NodeKey,
     ProviderManagerCore,
+    StoreConfig,
     VersionManagerCore,
     build_patch,
     collect_blocks,
@@ -98,9 +99,9 @@ class TestPlacement:
 class TestStoreEndToEnd:
     def test_write_read_cycle(self, benchmark):
         def cycle():
-            store = LocalBlobStore(
+            store = LocalBlobStore(config=StoreConfig(
                 data_providers=8, metadata_providers=3, block_size=BS
-            )
+            ))
             blob = store.create()
             for i in range(16):
                 store.append(blob, bytes([i]) * BS)

@@ -1,0 +1,302 @@
+"""Multi-tenant gateway under a thousands-of-clients load (DESIGN.md §12).
+
+The gateway's pitch is that one BlobSeer store can serve many tenants
+*as a service* without giving up the paper's throughput-under-heavy-
+concurrency headline.  This bench drives four phases over identically
+configured stores and proves the two halves of that claim:
+
+1. **overhead** — 1024 client sessions across 8 tenants pushing fresh
+   files through the gateway sustain >= 0.8x the aggregate append
+   throughput of the same op mix against a bare BSFS (fig5-style
+   grouped store: group commit + overlapped publish + parallel I/O);
+2. **fairness** — with one *greedy* tenant hammering the store under a
+   bytes/s cap, the greedy tenant is actually held to its token-bucket
+   rate while the polite cohort's pooled p99 latency stays within 2x
+   of its solo run.
+
+Per-tenant counters (ops, bytes, throttle waits, rejections) land in
+the benchmark JSON artifact via ``extra_info`` so CI records who was
+paced alongside the wall-clock numbers.
+"""
+
+import math
+import threading
+import time
+
+from conftest import emit
+
+from repro.blob import StoreConfig
+from repro.bsfs.filesystem import BSFSFileSystem
+from repro.gateway import Gateway, TenantPolicy
+
+BLOCK = 4 * 1024
+#: Two blocks per client file: every op exercises scatter + publish.
+PAYLOAD = 2 * BLOCK
+TENANTS = 8
+CLIENTS_PER_TENANT = 128
+SESSIONS = TENANTS * CLIENTS_PER_TENANT  # 1024 simulated clients
+WORKERS = 32
+#: The greedy tenant's data-plane cap and bucket depth.
+GREEDY_BPS = 256 * 1024
+GREEDY_BURST_S = 0.25
+
+#: Same store recipe as the fig5 grouped pipeline, scaled-down vman
+#: latency so four phases stay inside a CI-friendly wall clock.
+STORE = dict(
+    data_providers=8,
+    metadata_providers=4,
+    block_size=BLOCK,
+    io_workers=8,
+    vman_latency=0.002,
+    group_commit=True,
+    publish_window=0.002,
+    overlap_publish=True,
+)
+
+
+def _p99(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[max(0, math.ceil(0.99 * len(ordered)) - 1)]
+
+
+def _run_sessions(jobs: list, workers: int = WORKERS) -> float:
+    """Run callables over a fixed thread pool; returns elapsed seconds."""
+    errors: list[Exception] = []
+    cursor = iter(range(len(jobs)))
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            try:
+                jobs[index]()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[:3]
+    return elapsed
+
+
+def _direct_baseline() -> float:
+    """Aggregate MB/s of the same op mix against a bare BSFS."""
+    fs = BSFSFileSystem(config=StoreConfig(**STORE))
+    try:
+        payload = b"d" * PAYLOAD
+
+        def one_write(i):
+            return lambda: fs.write_file(f"/c{i:04d}", payload)
+
+        elapsed = _run_sessions([one_write(i) for i in range(SESSIONS)])
+        return SESSIONS * PAYLOAD / elapsed / 2**20
+    finally:
+        fs.store.close()
+
+
+def _gateway_aggregate() -> tuple[float, dict]:
+    """Aggregate MB/s of 1024 gateway sessions across 8 uncapped tenants."""
+    with Gateway(config=StoreConfig(**STORE)) as gw:
+        sessions = []
+        for t in range(TENANTS):
+            token = gw.register_tenant(f"tenant-{t}")
+            sessions += [
+                (gw.connect(f"tenant-{t}", token), c)
+                for c in range(CLIENTS_PER_TENANT)
+            ]
+        payload = b"g" * PAYLOAD
+
+        def one_write(client, c):
+            return lambda: client.write_file(f"/f{c:04d}", payload)
+
+        elapsed = _run_sessions([one_write(cl, c) for cl, c in sessions])
+        stats = gw.tenant_stats()
+        assert sum(s["ops"]["append"] for s in stats.values()) == SESSIONS
+        return SESSIONS * PAYLOAD / elapsed / 2**20, stats
+
+
+def _solo_polite() -> float:
+    """Pooled p99 append latency of one polite tenant running alone."""
+    with Gateway(config=StoreConfig(**STORE)) as gw:
+        token = gw.register_tenant("solo")
+        clients = [gw.connect("solo", token) for _ in range(CLIENTS_PER_TENANT)]
+        payload = b"s" * PAYLOAD
+        latencies: list[float] = []
+        lock = threading.Lock()
+
+        def one_write(client, c):
+            def job():
+                start = time.perf_counter()
+                client.write_file(f"/f{c:04d}", payload)
+                sample = time.perf_counter() - start
+                with lock:
+                    latencies.append(sample)
+
+            return job
+
+        _run_sessions([one_write(cl, c) for c, cl in enumerate(clients)])
+        return _p99(latencies)
+
+
+def _mixed_with_greedy() -> dict:
+    """7 polite tenants + 1 bytes/s-capped greedy tenant, 1024 sessions."""
+    with Gateway(config=StoreConfig(**STORE)) as gw:
+        polite_sessions = []
+        for t in range(TENANTS - 1):
+            token = gw.register_tenant(f"polite-{t}")
+            polite_sessions += [
+                (gw.connect(f"polite-{t}", token), c)
+                for c in range(CLIENTS_PER_TENANT)
+            ]
+        greedy_policy = TenantPolicy(
+            bytes_per_sec=GREEDY_BPS, burst_seconds=GREEDY_BURST_S
+        )
+        greedy_token = gw.register_tenant("greedy", greedy_policy)
+        greedy_clients = [
+            gw.connect("greedy", greedy_token) for _ in range(CLIENTS_PER_TENANT)
+        ]
+
+        payload = b"p" * PAYLOAD
+        latencies: list[float] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+        greedy_done = [0]
+
+        def polite_write(client, c):
+            def job():
+                start = time.perf_counter()
+                client.write_file(f"/f{c:04d}", payload)
+                sample = time.perf_counter() - start
+                with lock:
+                    latencies.append(sample)
+
+            return job
+
+        def greedy_worker(shard: int):
+            # Each thread round-robins its shard of the greedy tenant's
+            # sessions, writing flat out until the polite cohort is done.
+            mine = greedy_clients[shard::4]
+            count = 0
+            while not stop.is_set():
+                client = mine[count % len(mine)]
+                client.write_file(f"/s{shard}n{count}", payload)
+                count += 1
+            with lock:
+                greedy_done[0] += count
+
+        greedy_threads = [
+            threading.Thread(target=greedy_worker, args=(k,)) for k in range(4)
+        ]
+        start = time.perf_counter()
+        for t in greedy_threads:
+            t.start()
+        _run_sessions([polite_write(cl, c) for cl, c in polite_sessions])
+        stop.set()
+        for t in greedy_threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+
+        stats = gw.tenant_stats()
+        greedy = stats["greedy"]
+        return {
+            "elapsed_s": elapsed,
+            "polite_p99_s": _p99(latencies),
+            "polite_ops": len(latencies),
+            "greedy_ops": greedy_done[0],
+            "greedy_bytes": greedy["bytes_in"],
+            "greedy_bps": greedy["bytes_in"] / elapsed,
+            "greedy_wait_s": greedy["throttle_wait_s"],
+            "stats": stats,
+        }
+
+
+def test_fig5_multitenant_gateway_load(benchmark):
+    def run():
+        return {
+            "direct_mb_s": _direct_baseline(),
+            "gateway": _gateway_aggregate(),
+            "solo_p99_s": _solo_polite(),
+            "mixed": _mixed_with_greedy(),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    direct = out["direct_mb_s"]
+    gateway_mb_s, agg_stats = out["gateway"]
+    solo_p99 = out["solo_p99_s"]
+    mixed = out["mixed"]
+
+    benchmark.extra_info["tenants"] = TENANTS
+    benchmark.extra_info["client_sessions"] = SESSIONS
+    benchmark.extra_info["direct_mb_s"] = round(direct, 2)
+    benchmark.extra_info["gateway_mb_s"] = round(gateway_mb_s, 2)
+    benchmark.extra_info["gateway_vs_direct"] = round(gateway_mb_s / direct, 3)
+    benchmark.extra_info["solo_p99_ms"] = round(solo_p99 * 1e3, 2)
+    benchmark.extra_info["mixed_polite_p99_ms"] = round(
+        mixed["polite_p99_s"] * 1e3, 2
+    )
+    benchmark.extra_info["greedy_cap_bps"] = GREEDY_BPS
+    benchmark.extra_info["greedy_observed_bps"] = round(mixed["greedy_bps"])
+    benchmark.extra_info["greedy_throttle_wait_s"] = round(
+        mixed["greedy_wait_s"], 3
+    )
+    benchmark.extra_info["per_tenant"] = {
+        tid: {
+            "appends": s["ops"]["append"],
+            "bytes_in": s["bytes_in"],
+            "throttle_wait_s": s["throttle_wait_s"],
+            "rejections": s["admission_rejections"],
+        }
+        for tid, s in mixed["stats"].items()
+    }
+
+    emit(
+        "fig5-style multi-tenant gateway load "
+        f"({TENANTS} tenants x {CLIENTS_PER_TENANT} = {SESSIONS} client "
+        f"sessions, {PAYLOAD // 1024} KB per append):\n"
+        f"  direct-store aggregate   {direct:8.2f} MB/s\n"
+        f"  gateway aggregate        {gateway_mb_s:8.2f} MB/s  "
+        f"({gateway_mb_s / direct:.2f}x direct)\n"
+        f"  polite p99 solo/mixed    {solo_p99 * 1e3:8.2f} / "
+        f"{mixed['polite_p99_s'] * 1e3:.2f} ms  "
+        f"({mixed['polite_ops']} polite ops)\n"
+        f"  greedy tenant            {mixed['greedy_bps'] / 1024:8.1f} KB/s "
+        f"observed vs {GREEDY_BPS / 1024:.0f} KB/s cap "
+        f"({mixed['greedy_ops']} ops, waited {mixed['greedy_wait_s']:.2f}s)"
+    )
+
+    # Every tenant moved its full share through the uncapped run.
+    for tid, s in agg_stats.items():
+        assert s["ops"]["append"] == CLIENTS_PER_TENANT, (tid, s)
+        assert s["bytes_in"] == CLIENTS_PER_TENANT * PAYLOAD
+
+    # The front door costs <= 20% of the direct-store aggregate rate.
+    assert gateway_mb_s >= 0.8 * direct, (
+        f"gateway aggregate {gateway_mb_s:.2f} MB/s fell below 0.8x the "
+        f"direct-store baseline {direct:.2f} MB/s"
+    )
+
+    # Admission control held the greedy tenant to its bucket: observed
+    # rate <= cap plus the one-time burst allowance, and it actually
+    # spent time parked in the bucket.
+    burst_allowance = GREEDY_BPS * GREEDY_BURST_S / mixed["elapsed_s"]
+    assert mixed["greedy_bps"] <= 1.25 * (GREEDY_BPS + burst_allowance), (
+        f"greedy tenant ran at {mixed['greedy_bps']:.0f} B/s, past its "
+        f"{GREEDY_BPS} B/s token-bucket cap"
+    )
+    assert mixed["greedy_wait_s"] > 0
+
+    # The greedy tenant's backlog stayed its own: the polite cohort's
+    # pooled p99 is within 2x of its solo run.
+    assert mixed["polite_p99_s"] <= 2 * solo_p99, (
+        f"polite p99 degraded {mixed['polite_p99_s'] / solo_p99:.2f}x "
+        f"(solo {solo_p99 * 1e3:.2f} ms, mixed "
+        f"{mixed['polite_p99_s'] * 1e3:.2f} ms)"
+    )

@@ -16,7 +16,7 @@ import time
 
 from conftest import emit
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 
 BLOCK = 4 * 1024
 BLOCKS_PER_OP = 12
@@ -30,13 +30,13 @@ WORKER_SWEEP = (0, 2, 4, 8)
 
 
 def _make_store(io_workers: int) -> LocalBlobStore:
-    return LocalBlobStore(
+    return LocalBlobStore(config=StoreConfig(
         data_providers=8,
         metadata_providers=3,
         block_size=BLOCK,
         io_workers=io_workers,
         provider_latency=LATENCY,
-    )
+    ))
 
 
 def _run_clients(worker_fn, n_clients: int) -> float:

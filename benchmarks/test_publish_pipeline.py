@@ -23,7 +23,7 @@ import time
 
 from conftest import emit
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 
 BLOCK = 4 * 1024
 BLOCKS_PER_OP = 4
@@ -42,7 +42,7 @@ WINDOW = 0.003
 def _measure(group_commit: bool) -> dict:
     """Aggregate MB/s of CLIENTS threads appending to one BLOB, plus
     the version-manager round-trip count of the whole workload."""
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=8,
         metadata_providers=4,
         block_size=BLOCK,
@@ -51,7 +51,7 @@ def _measure(group_commit: bool) -> dict:
         group_commit=group_commit,
         publish_window=WINDOW if group_commit else 0.0,
         overlap_publish=group_commit,
-    )
+    ))
     try:
         blob = store.create()
         payload = b"a" * (BLOCKS_PER_OP * BLOCK)

@@ -18,7 +18,7 @@ import time
 
 from conftest import emit
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 
 BLOCK = 64 * 1024
 BLOCKS = 48
@@ -27,12 +27,12 @@ ROUNDS = 3
 
 
 def _measure() -> dict:
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=8,
         metadata_providers=6,
         block_size=BLOCK,
         io_workers=8,
-    )
+    ))
     try:
         blob = store.create()
         size = BLOCKS * BLOCK

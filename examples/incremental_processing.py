@@ -11,7 +11,7 @@ rescan only those ranges instead of the whole dataset.
 Run:  python examples/incremental_processing.py
 """
 
-from repro.blob import LocalBlobStore, changed_ranges
+from repro.blob import LocalBlobStore, StoreConfig, changed_ranges
 from repro.bsfs import BSFSFileSystem
 
 BS = 4096
@@ -27,7 +27,7 @@ def count_needles(fs, path, version, offset=0, size=None):
 
 def main() -> None:
     fs = BSFSFileSystem(
-        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=6, metadata_providers=2, block_size=BS))
     )
 
     # Pass 1: a large-ish dataset, scanned fully once.

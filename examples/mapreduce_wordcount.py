@@ -9,7 +9,7 @@ systems and compares results and map locality.
 Run:  python examples/mapreduce_wordcount.py
 """
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 from repro.hdfs import HDFSFileSystem
 from repro.mapreduce import LocalJobRunner
@@ -44,7 +44,7 @@ def run_on(name: str, fs, trackers) -> tuple[dict, float]:
 def main() -> None:
     # 16 KB blocks so the demo file splits into many map tasks.
     bsfs = BSFSFileSystem(
-        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=16384)
+        store=LocalBlobStore(config=StoreConfig(data_providers=6, metadata_providers=2, block_size=16384))
     )
     hdfs = HDFSFileSystem(datanodes=6, block_size=16384, seed=3)
 

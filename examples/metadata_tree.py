@@ -9,7 +9,7 @@ with older versions (the essence of cheap versioning).
 Run:  python examples/metadata_tree.py
 """
 
-from repro.blob import InnerNode, LocalBlobStore, NodeKey
+from repro.blob import InnerNode, LocalBlobStore, NodeKey, StoreConfig
 from repro.blob.segment_tree import LeafNode
 
 BS = 64
@@ -53,7 +53,7 @@ def show(store, blob, version, title) -> None:
 
 
 def main() -> None:
-    store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+    store = LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
     blob = store.create("fig1")
 
     # (a) "appending the first four blocks to an empty BLOB"

@@ -9,7 +9,7 @@ primitive Hadoop schedules by, replication failover and version GC.
 Run:  python examples/quickstart.py
 """
 
-from repro.blob import LocalBlobStore, collect_garbage
+from repro.blob import LocalBlobStore, StoreConfig, collect_garbage
 from repro.util import MB, format_size
 
 
@@ -17,12 +17,12 @@ def main() -> None:
     # A BlobSeer deployment: 8 data providers, 3 metadata providers.
     # Block size is 1 MB here so the demo is instant; the paper uses
     # 64 MB (the default) to match Hadoop's chunk size.
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=8,
         metadata_providers=3,
         block_size=1 * MB,
         replication=2,
-    )
+    ))
 
     # --- create / write / append: every mutation is a new snapshot ---
     blob = store.create("demo")

@@ -11,7 +11,7 @@ concurrent appenders never block the readers.
 Run:  python examples/versioned_workflow.py
 """
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 from repro.mapreduce import LocalJobRunner
 from repro.mapreduce.apps import grep_job
@@ -25,7 +25,7 @@ def grep_count(fs, path: str, pattern: str, out: str) -> int:
 
 def main() -> None:
     fs = BSFSFileSystem(
-        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=4096)
+        store=LocalBlobStore(config=StoreConfig(data_providers=6, metadata_providers=2, block_size=4096))
     )
 
     # Pass 1 produces a dataset.

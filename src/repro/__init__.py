@@ -8,6 +8,9 @@ Subpackages:
   manager, provider manager, replication, GC.
 * ``repro.bsfs`` — the BlobSeer File System: Hadoop-style FileSystem API
   with namespace manager and client-side block caching.
+* ``repro.gateway`` — the multi-tenant service front door: tenant
+  authentication, per-tenant namespaces, token-bucket admission
+  control, and stored-bytes quotas over one shared store.
 * ``repro.hdfs`` — the HDFS baseline (namenode/datanodes, single-writer
   write-once semantics, local-first placement).
 * ``repro.mapreduce`` — Hadoop-style MapReduce engine with locality
@@ -20,6 +23,15 @@ Subpackages:
   the paper's evaluation.
 """
 
+from repro.blob.config import StoreConfig
+from repro.gateway import Gateway, GatewayClient, TenantPolicy
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "StoreConfig",
+    "Gateway",
+    "GatewayClient",
+    "TenantPolicy",
+]

@@ -19,6 +19,7 @@ from repro.blob.block import (
     concat,
     materialize,
 )
+from repro.blob.config import StoreConfig
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.diff import BlockRange, changed_ranges, diff_snapshots
 from repro.blob.io_engine import ParallelIOEngine
@@ -31,6 +32,7 @@ from repro.blob.provider_manager import (
     ProviderManagerCore,
     RandomPolicy,
     RoundRobinPolicy,
+    TenantAccount,
     make_policy,
 )
 from repro.blob.replication import (
@@ -110,6 +112,8 @@ __all__ = [
     "MetadataService",
     "NodeCache",
     "LocalBlobStore",
+    "StoreConfig",
+    "TenantAccount",
     "BlockLocation",
     "DEFAULT_BLOCK_SIZE",
     "GcReport",

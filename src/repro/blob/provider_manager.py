@@ -15,15 +15,18 @@ the placement ablation benchmark.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro.errors import ProviderUnavailable, ReplicationError
+from repro.errors import ProviderUnavailable, QuotaExceeded, ReplicationError
 
 __all__ = [
     "ProviderInfo",
+    "TenantAccount",
     "PlacementPolicy",
     "RoundRobinPolicy",
     "LeastLoadedPolicy",
@@ -32,6 +35,9 @@ __all__ = [
     "ProviderManagerCore",
     "make_policy",
 ]
+
+#: Sliding window (seconds) over which per-tenant bytes/s is measured.
+RATE_WINDOW = 2.0
 
 
 @dataclass
@@ -42,6 +48,61 @@ class ProviderInfo:
     blocks: int = 0
     bytes: int = 0
     online: bool = True
+
+
+@dataclass
+class TenantAccount:
+    """Quota accounting for one gateway tenant (DESIGN.md §12).
+
+    Lives in the provider manager — the placement serialization point —
+    so an over-quota write is refused by the same authority that would
+    otherwise have charged providers for its blocks: rejection happens
+    *before* any placement exists.  ``bytes_reserved`` covers writes
+    admitted but not yet durable; reservations either convert to
+    ``bytes_stored`` on success or are released on failure, so the
+    quota check ``stored + reserved + request <= quota`` never
+    double-admits concurrent writers.
+    """
+
+    tenant_id: str
+    quota_bytes: Optional[int] = None
+    bytes_stored: int = 0
+    bytes_reserved: int = 0
+    in_flight: int = 0
+    ops_total: int = 0
+    bytes_total: int = 0
+    quota_rejections: int = 0
+    #: (monotonic timestamp, nbytes) samples inside RATE_WINDOW.
+    _samples: deque = field(default_factory=deque, repr=False)
+
+    def _note(self, nbytes: int, now: float) -> None:
+        self.bytes_total += nbytes
+        self._samples.append((now, nbytes))
+        self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - RATE_WINDOW
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def bytes_per_sec(self, now: Optional[float] = None) -> float:
+        """Data-plane bytes/s over the trailing window."""
+        now = time.monotonic() if now is None else now
+        self._trim(now)
+        return sum(n for _, n in self._samples) / RATE_WINDOW
+
+    def usage(self) -> dict:
+        """Point-in-time snapshot for stats reporting."""
+        return {
+            "quota_bytes": self.quota_bytes,
+            "bytes_stored": self.bytes_stored,
+            "bytes_reserved": self.bytes_reserved,
+            "in_flight": self.in_flight,
+            "ops_total": self.ops_total,
+            "bytes_total": self.bytes_total,
+            "bytes_per_sec": round(self.bytes_per_sec(), 1),
+            "quota_rejections": self.quota_rejections,
+        }
 
 
 class PlacementPolicy(Protocol):
@@ -153,6 +214,7 @@ class ProviderManagerCore:
         )
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._providers: dict[str, ProviderInfo] = {}
+        self._tenants: dict[str, TenantAccount] = {}
         self._lock = threading.Lock()
 
     # -- membership -------------------------------------------------------------
@@ -264,6 +326,91 @@ class ProviderManagerCore:
                 for name in replicas:
                     if (seq, name) not in skip:
                         self._release_one(name, nbytes)
+
+    # -- tenant quota accounting (gateway front door, DESIGN.md §12) --------------
+
+    def register_tenant(
+        self, tenant_id: str, quota_bytes: Optional[int] = None
+    ) -> TenantAccount:
+        """Open (or update the quota of) a tenant's account."""
+        with self._lock:
+            account = self._tenants.get(tenant_id)
+            if account is None:
+                account = self._tenants[tenant_id] = TenantAccount(tenant_id)
+            account.quota_bytes = quota_bytes
+            return account
+
+    def _tenant(self, tenant_id: str) -> TenantAccount:
+        try:
+            return self._tenants[tenant_id]
+        except KeyError:
+            raise KeyError(f"tenant {tenant_id!r} has no account") from None
+
+    def tenant_reserve(self, tenant_id: str, nbytes: int) -> None:
+        """Admit *nbytes* of new stored data against the tenant's quota.
+
+        Raises :class:`~repro.errors.QuotaExceeded` — before any
+        placement is allocated — when stored + reserved + request would
+        pass the quota.  The reservation must later be settled with
+        :meth:`tenant_commit` (the write published) or
+        :meth:`tenant_release` (the write failed or was rolled back).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        with self._lock:
+            account = self._tenant(tenant_id)
+            if account.quota_bytes is not None:
+                used = account.bytes_stored + account.bytes_reserved
+                if used + nbytes > account.quota_bytes:
+                    account.quota_rejections += 1
+                    raise QuotaExceeded(
+                        tenant_id, nbytes, used, account.quota_bytes
+                    )
+            account.bytes_reserved += nbytes
+
+    def tenant_commit(self, tenant_id: str, nbytes: int) -> None:
+        """Convert a reservation into durably stored bytes."""
+        with self._lock:
+            account = self._tenant(tenant_id)
+            account.bytes_reserved = max(0, account.bytes_reserved - nbytes)
+            account.bytes_stored += nbytes
+
+    def tenant_release(self, tenant_id: str, nbytes: int) -> None:
+        """Return a reservation after a failed or abandoned write."""
+        with self._lock:
+            account = self._tenant(tenant_id)
+            account.bytes_reserved = max(0, account.bytes_reserved - nbytes)
+
+    def tenant_discard(self, tenant_id: str, nbytes: int) -> None:
+        """Return stored bytes after a delete (storage reclaim is GC's)."""
+        with self._lock:
+            account = self._tenant(tenant_id)
+            account.bytes_stored = max(0, account.bytes_stored - nbytes)
+
+    def tenant_begin_op(self, tenant_id: str) -> None:
+        """Count one admitted operation entering service."""
+        with self._lock:
+            account = self._tenant(tenant_id)
+            account.in_flight += 1
+            account.ops_total += 1
+
+    def tenant_end_op(self, tenant_id: str, nbytes: int = 0) -> None:
+        """An operation left service, having moved *nbytes* of data."""
+        with self._lock:
+            account = self._tenant(tenant_id)
+            account.in_flight = max(0, account.in_flight - 1)
+            if nbytes:
+                account._note(nbytes, time.monotonic())
+
+    def tenant_usage(self, tenant_id: str) -> dict:
+        """One tenant's accounting snapshot."""
+        with self._lock:
+            return self._tenant(tenant_id).usage()
+
+    def tenant_usages(self) -> dict[str, dict]:
+        """Every tenant's accounting snapshot, keyed by tenant id."""
+        with self._lock:
+            return {tid: acct.usage() for tid, acct in sorted(self._tenants.items())}
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -65,6 +65,7 @@ from repro.errors import (
     ProviderError,
     ReplicationError,
 )
+from repro.util.throttle import Throttle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports us not)
     from repro.blob.store import LocalBlobStore
@@ -121,40 +122,6 @@ class ScrubReport:
     def clean(self) -> bool:
         """True when the pass found nothing to heal and no errors."""
         return self.healed_total == 0 and not self.errors
-
-
-class Throttle:
-    """Paces maintenance work to *ops_per_sec* operations per second.
-
-    A tiny token bucket shared by every scrub phase: each healed or
-    checked item costs one :meth:`tick`.  Thread-safe, so a daemon pass
-    and an operator-invoked pass share one budget.  An optional
-    *interrupt* event cuts a sleep short — the daemon passes its stop
-    event so shutdown never waits out a throttle delay.
-    """
-
-    def __init__(
-        self, ops_per_sec: float, interrupt: Optional[threading.Event] = None
-    ):
-        if ops_per_sec <= 0:
-            raise ValueError(f"ops_per_sec must be > 0, got {ops_per_sec}")
-        self.ops_per_sec = float(ops_per_sec)
-        self.interrupt = interrupt
-        self._lock = threading.Lock()
-        self._next_slot = 0.0
-
-    def tick(self, n: int = 1) -> None:
-        """Charge *n* operations, sleeping if the budget is exhausted."""
-        cost = n / self.ops_per_sec
-        now = time.monotonic()
-        with self._lock:
-            start = max(self._next_slot, now)
-            self._next_slot = start + cost
-        if start > now:
-            if self.interrupt is not None:
-                self.interrupt.wait(start - now)
-            else:
-                time.sleep(start - now)
 
 
 @dataclass

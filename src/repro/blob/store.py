@@ -45,8 +45,9 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -59,10 +60,11 @@ from repro.blob.block import (
     SyntheticPayload,
     materialize,
 )
+from repro.blob.config import DEFAULT_BLOCK_SIZE, StoreConfig
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.io_engine import ParallelIOEngine
 from repro.blob.metadata import MetadataService
-from repro.blob.provider_manager import PlacementPolicy, ProviderManagerCore
+from repro.blob.provider_manager import ProviderManagerCore
 from repro.blob.segment_tree import (
     DescentPlan,
     NodeKey,
@@ -86,19 +88,17 @@ from repro.errors import (
     PublishHookError,
     ReplicationError,
 )
-from repro.util.bytesize import MB, parse_size
+from repro.util.bytesize import parse_size
 from repro.util.chunks import dest_windows, split_range
 
 __all__ = [
     "LocalBlobStore",
+    "StoreConfig",
     "BlockLocation",
     "PublishPipeline",
     "VmanStats",
     "DEFAULT_BLOCK_SIZE",
 ]
-
-#: The paper's block size: 64 MB, "equal to the chunk size in HDFS".
-DEFAULT_BLOCK_SIZE = 64 * MB
 
 
 @dataclass(frozen=True)
@@ -351,117 +351,94 @@ class PublishPipeline:
                 entry.hook_error = outcome.hook_error
 
 
+#: The sixteen historical constructor keywords, exactly the
+#: :class:`StoreConfig` field names — the shim round-trips them 1:1.
+_LEGACY_KWARGS = tuple(f.name for f in StoreConfig.__dataclass_fields__.values())
+
+
 class LocalBlobStore:
     """In-process BlobSeer deployment.
 
-    Args:
-        data_providers: count, or explicit provider names.
-        metadata_providers: count, or explicit names, of DHT buckets.
-        block_size: striping unit (default 64 MB; accepts "64MB" forms).
-        replication: data-block replica count.
-        metadata_replication: DHT replica count for tree nodes.
-        placement: policy name or instance (default BlobSeer round-robin).
-        seed: seed for any stochastic policy (random placement).
-        io_workers: scatter-gather pool threads (0 = inline I/O).
-        provider_latency: simulated service time per data-provider op.
-        metadata_latency: simulated service time per metadata-bucket
-            *request* — a batched multi-get/put pays it once per bucket
-            per round, which is what makes the batched pipeline's
-            round-trip saving visible in wall-clock benchmarks.
-        metadata_cache_nodes: capacity of the immutable node cache
-            (DESIGN.md §9); 0 disables it.  Read-through only, so a
-            failure injected before the first read stays observable.
-        metadata_batching: route descents through the level-batched
-            metadata pipeline (O(tree-depth) round trips).  ``False``
-            keeps the historical one-RPC-per-node descent — the
-            ablation baseline the benchmarks compare against.
-        vman_latency: simulated service time per serialized
-            version-manager *interaction* — a group-commit flush pays
-            it once per batch, the per-writer path once per writer per
-            phase, which is what makes the pipeline's round-trip
-            saving visible in wall-clock benchmarks (DESIGN.md §10).
-        group_commit: batch concurrent writers' version assignments
-            and completion reports through the :class:`PublishPipeline`
-            (O(batches) vman round trips).  ``False`` keeps the
-            per-writer interactions — the ablation baseline.
-        publish_window: seconds the group-commit leader waits for more
-            writers to join its batch.  0 (default) batches
-            opportunistically: whatever queued while the previous
-            flush held the version manager rides the next one.
-        overlap_publish: overlap the block scatter with metadata
-            weaving/publication (requires ``io_workers > 0``): the
-            scatter is launched asynchronously and settled just before
-            the commit.  Off by default because it moves a mid-scatter
-            failure from the plain-rollback phase into the
-            tombstone-abort phase (the version is already assigned
-            when the failure surfaces; semantics per DESIGN.md §7).
+    Canonical construction::
+
+        store = LocalBlobStore(config=StoreConfig(io_workers=8, ...))
+
+    :class:`~repro.blob.config.StoreConfig` documents every knob and
+    rejects the silently-broken combinations up front.  The sixteen
+    historical loose keywords (``LocalBlobStore(io_workers=8, ...)``)
+    still work through a deprecation shim that folds them into a
+    ``StoreConfig`` and emits a ``DeprecationWarning``.
     """
 
-    def __init__(
-        self,
-        data_providers: Union[int, Sequence[str]] = 16,
-        metadata_providers: Union[int, Sequence[str]] = 4,
-        block_size: Union[int, str] = DEFAULT_BLOCK_SIZE,
-        replication: int = 1,
-        metadata_replication: int = 1,
-        placement: Union[str, PlacementPolicy] = "round_robin",
-        seed: int = 0,
-        io_workers: int = 0,
-        provider_latency: float = 0.0,
-        metadata_latency: float = 0.0,
-        metadata_cache_nodes: int = 1024,
-        metadata_batching: bool = True,
-        vman_latency: float = 0.0,
-        group_commit: bool = True,
-        publish_window: float = 0.0,
-        overlap_publish: bool = False,
-    ):
-        if isinstance(data_providers, int):
-            data_providers = [f"provider-{i:03d}" for i in range(data_providers)]
-        if isinstance(metadata_providers, int):
-            metadata_providers = [f"mdp-{i:03d}" for i in range(metadata_providers)]
-        self.block_size = parse_size(block_size)
-        if self.block_size < 1:
-            raise ValueError("block_size must be >= 1")
-        if io_workers < 0:
-            raise ValueError(f"io_workers must be >= 0, got {io_workers}")
-        if vman_latency < 0:
-            raise ValueError(f"vman_latency must be >= 0, got {vman_latency}")
-        self.replication = replication
-        self.metadata_batching = metadata_batching
-        self.vman_latency = vman_latency
+    def __init__(self, config: Optional[StoreConfig] = None, **legacy):
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=StoreConfig(...) or the legacy "
+                    f"keywords, not both (got both config= and {sorted(legacy)})"
+                )
+            unknown = sorted(set(legacy) - set(_LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"unknown LocalBlobStore keyword(s) {unknown}; "
+                    f"valid StoreConfig fields are {sorted(_LEGACY_KWARGS)}"
+                )
+            warnings.warn(
+                "LocalBlobStore(**kwargs) is deprecated; build a "
+                "StoreConfig and pass LocalBlobStore(config=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = StoreConfig(**legacy)
+        elif config is None:
+            config = StoreConfig()
+        elif not isinstance(config, StoreConfig):
+            raise TypeError(
+                f"config must be a StoreConfig, got {type(config).__name__} "
+                "(positional provider counts moved to "
+                "StoreConfig(data_providers=...))"
+            )
+        config.validate()
+        #: The validated configuration this store was built from.
+        self.config = config
+        self.block_size = config.block_size_bytes()
+        self.replication = config.replication
+        self.metadata_batching = config.metadata_batching
+        self.vman_latency = config.vman_latency
         self.vman_stats = VmanStats()
         #: Data-plane byte accounting (DESIGN.md §11): bytes copied vs
         #: transferred at each block hop, shared with every provider.
         self.copy_stats = CopyStats()
-        self.overlap_publish = overlap_publish
+        self.overlap_publish = config.overlap_publish
         self.version_manager = VersionManagerCore()
         self.publish_pipeline: Optional[PublishPipeline] = (
-            PublishPipeline(self, window=publish_window) if group_commit else None
+            PublishPipeline(self, window=config.publish_window)
+            if config.group_commit
+            else None
         )
         self.provider_manager = ProviderManagerCore(
-            policy=placement, rng=np.random.default_rng(seed)
+            policy=config.placement, rng=np.random.default_rng(config.seed)
         )
         self.providers: dict[str, DataProviderCore] = {}
-        for name in data_providers:
+        for name in config.provider_names():
             self.provider_manager.register(name)
             self.providers[name] = DataProviderCore(
-                name, latency=provider_latency, copy_stats=self.copy_stats
+                name, latency=config.provider_latency, copy_stats=self.copy_stats
             )
         #: Shared scatter-gather pool; ``None`` means inline (serial) I/O.
         #: Created before the metadata service so the DHT can fan one
         #: batched round's per-bucket requests over the same pool.
         self.io_engine: Optional[ParallelIOEngine] = (
-            ParallelIOEngine(io_workers) if io_workers > 0 else None
+            ParallelIOEngine(config.io_workers) if config.io_workers > 0 else None
         )
         self.metadata = MetadataService(
             DhtStore(
-                list(metadata_providers),
-                replication=metadata_replication,
-                latency=metadata_latency,
+                config.metadata_bucket_names(),
+                replication=config.metadata_replication,
+                latency=config.metadata_latency,
                 engine=self.io_engine,
             ),
-            cache_nodes=metadata_cache_nodes,
+            cache_nodes=config.metadata_cache_nodes,
         )
         self._nonce = itertools.count(1)
         self._lock = threading.Lock()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.blob.config import StoreConfig
 from repro.blob.store import LocalBlobStore
 from repro.bsfs.cache import BlockReadCache, WriteBuffer
 from repro.bsfs.namespace import NamespaceManager
@@ -152,9 +153,14 @@ class BSFSFileSystem(FileSystem):
         self,
         store: Optional[LocalBlobStore] = None,
         readahead: int = 0,
+        config: Optional[StoreConfig] = None,
         **store_kwargs,
     ):
-        self.store = store if store is not None else LocalBlobStore(**store_kwargs)
+        if store is not None and (config is not None or store_kwargs):
+            raise TypeError("pass either an existing store or its configuration")
+        if store is None:
+            store = LocalBlobStore(config=config, **store_kwargs)
+        self.store = store
         self.namespace = NamespaceManager()
         self.block_size = self.store.block_size
         #: Blocks prefetched ahead of sequential readers (needs a store

@@ -27,6 +27,11 @@ Demonstrate the zero-copy data plane (DESIGN.md §11)::
     repro zerocopy             # per-layer bytes copied vs transferred
     repro zerocopy --blocks 128 --block-size 1m
 
+Demonstrate the multi-tenant gateway (DESIGN.md §12)::
+
+    repro gateway              # N tenants, one greedy; fairness table
+    repro gateway --tenants 8 --clients 64 --greedy-kbps 128
+
 ``python -m repro.cli ...`` works identically.
 """
 
@@ -175,6 +180,37 @@ def build_parser() -> argparse.ArgumentParser:
     zerocopy.add_argument(
         "--io-workers", type=int, default=8, help="parallel I/O engine threads"
     )
+
+    gateway = sub.add_parser(
+        "gateway",
+        help=(
+            "multi-tenant front-door demo: N tenants share one store, one "
+            "turns greedy under a bytes/s cap; prints the per-tenant "
+            "fairness table and fails if anyone was starved"
+        ),
+    )
+    gateway.add_argument(
+        "--tenants", type=int, default=6, help="tenants sharing the store"
+    )
+    gateway.add_argument(
+        "--clients", type=int, default=32, help="client sessions per tenant"
+    )
+    gateway.add_argument(
+        "--ops", type=int, default=2, help="file writes per client session"
+    )
+    gateway.add_argument(
+        "--payload", type=str, default="8k", help="bytes per write (e.g. 8k)"
+    )
+    gateway.add_argument(
+        "--greedy-kbps",
+        type=float,
+        default=256.0,
+        help="the greedy tenant's bytes/s cap, in KB/s",
+    )
+    gateway.add_argument(
+        "--workers", type=int, default=16, help="OS threads multiplexing clients"
+    )
+    gateway.add_argument("--seed", type=int, default=0, help="store RNG seed")
     return parser
 
 
@@ -215,18 +251,18 @@ def _run_scrub_demo(args) -> int:
     replica convergence and make every version readable — with no
     manual ``republish_tombstone``.
     """
-    from repro.blob import LocalBlobStore
+    from repro.blob import LocalBlobStore, StoreConfig
     from repro.errors import ProviderError, ReplicationError
 
     bs = 1024
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=args.providers,
         metadata_providers=args.buckets,
         block_size=bs,
         replication=args.replication,
         metadata_replication=args.metadata_replication,
         seed=args.seed,
-    )
+    ))
     blob = store.create()
     expected: dict[int, bytes] = {}
     content = b""
@@ -315,7 +351,7 @@ def _run_metadata_demo(args) -> int:
     Reports wall time, metadata round trips, and cache hit rate, and
     fails if batching does not deliver its O(tree depth) bound.
     """
-    from repro.blob import LocalBlobStore
+    from repro.blob import LocalBlobStore, StoreConfig
 
     bs = 1024
     nblocks = max(args.blocks, 2)
@@ -324,14 +360,14 @@ def _run_metadata_demo(args) -> int:
         depth += 1
 
     def measure(label: str, **store_kwargs):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=args.buckets,
             block_size=bs,
             io_workers=args.io_workers,
             metadata_latency=args.latency,
             **store_kwargs,
-        )
+        ))
         blob = store.create()
         store.append(blob, b"m" * (nblocks * bs))
         stats = store.metadata.store.stats
@@ -405,7 +441,7 @@ def _run_append_demo(args) -> int:
     """
     import threading
 
-    from repro.blob import LocalBlobStore
+    from repro.blob import LocalBlobStore, StoreConfig
 
     bs = 1024
     writers = max(args.writers, 2)
@@ -414,7 +450,7 @@ def _run_append_demo(args) -> int:
     total_ops = writers * rounds
 
     def measure(label: str, group_commit: bool):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=8,
             metadata_providers=4,
             block_size=bs,
@@ -423,7 +459,7 @@ def _run_append_demo(args) -> int:
             group_commit=group_commit,
             publish_window=args.window if group_commit else 0.0,
             overlap_publish=group_commit,
-        )
+        ))
         blob = store.create()
         store.vman_stats.reset()
         barrier = threading.Barrier(writers)
@@ -512,7 +548,7 @@ def _run_zerocopy_demo(args) -> int:
     client-side, or if the write path copies anything beyond the
     provider freezes.
     """
-    from repro.blob import LocalBlobStore
+    from repro.blob import LocalBlobStore, StoreConfig
     from repro.util.bytesize import parse_size
 
     bs = parse_size(args.block_size)
@@ -528,12 +564,12 @@ def _run_zerocopy_demo(args) -> int:
                 f"{counts['transferred']:>12,} {counts['result']:>12,}"
             )
 
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=8,
         metadata_providers=4,
         block_size=bs,
         io_workers=args.io_workers,
-    )
+    ))
     try:
         blob = store.create()
         data = bytes(bytearray(range(256))) * (size // 256) + b"x" * (size % 256)
@@ -596,6 +632,212 @@ def _run_zerocopy_demo(args) -> int:
     return 0
 
 
+def _run_gateway_demo(args) -> int:
+    """Share one store between N tenants, let one turn greedy, and
+    prove the front door keeps everyone else whole (DESIGN.md §12).
+
+    Phase 1 runs one tenant alone for a latency reference.  Phase 2
+    runs all tenants at once — the last one greedy under a bytes/s
+    token bucket, hammering the store until the polite cohort drains.
+    Exits nonzero if the greedy tenant broke its cap or any polite
+    tenant was starved (pooled p99 beyond 3x the solo reference).
+    """
+    import math
+    import threading
+
+    from repro.blob import StoreConfig
+    from repro.gateway import Gateway, TenantPolicy
+    from repro.util.bytesize import parse_size
+
+    payload_size = parse_size(args.payload)
+    payload = b"g" * payload_size
+    cap_bps = args.greedy_kbps * 1024
+    burst_seconds = 0.25
+    config = StoreConfig(
+        data_providers=8,
+        metadata_providers=4,
+        block_size=max(1024, payload_size // 2),
+        io_workers=8,
+        seed=args.seed,
+    )
+
+    def p99(samples):
+        ordered = sorted(samples)
+        return ordered[max(0, math.ceil(0.99 * len(ordered)) - 1)]
+
+    def run_pool(jobs):
+        errors = []
+        cursor = iter(range(len(jobs)))
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                with lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                try:
+                    jobs[index]()
+                except Exception as exc:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(args.workers)]
+        start = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return time.monotonic() - start, errors
+
+    def timed_write(client, path, latencies, lock):
+        def job():
+            start = time.monotonic()
+            client.write_file(path, payload)
+            sample = time.monotonic() - start
+            with lock:
+                latencies.append(sample)
+
+        return job
+
+    print(
+        f"multi-tenant gateway: {args.tenants} tenants x {args.clients} "
+        f"clients x {args.ops} writes of {payload_size:,}B, greedy tenant "
+        f"capped at {cap_bps / 1024:.0f} KB/s"
+    )
+
+    # -- phase 1: solo latency reference --------------------------------------
+    with Gateway(config=config) as gw:
+        token = gw.register_tenant("solo")
+        clients = [gw.connect("solo", token) for _ in range(args.clients)]
+        latencies: list[float] = []
+        lock = threading.Lock()
+        jobs = [
+            timed_write(client, f"/f{c}o{o}", latencies, lock)
+            for c, client in enumerate(clients)
+            for o in range(args.ops)
+        ]
+        _, errors = run_pool(jobs)
+        if errors:
+            print(f"FAIL: solo phase raised {errors[:3]}")
+            return 1
+        solo_p99 = p99(latencies)
+    print(f"phase 1  solo tenant reference p99 = {solo_p99 * 1e3:.2f} ms")
+
+    # -- phase 2: everyone at once, one tenant greedy -------------------------
+    with Gateway(config=config.replace(seed=args.seed + 1)) as gw:
+        polite_ids = [f"tenant-{i}" for i in range(args.tenants - 1)]
+        sessions = {}
+        for tid in polite_ids:
+            token = gw.register_tenant(tid)
+            sessions[tid] = [gw.connect(tid, token) for _ in range(args.clients)]
+        greedy_token = gw.register_tenant(
+            "greedy",
+            TenantPolicy(bytes_per_sec=cap_bps, burst_seconds=burst_seconds),
+        )
+        greedy_clients = [
+            gw.connect("greedy", greedy_token) for _ in range(args.clients)
+        ]
+
+        latencies_by: dict[str, list[float]] = {tid: [] for tid in polite_ids}
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def greedy_worker(shard: int):
+            mine = greedy_clients[shard::2] or greedy_clients
+            count = 0
+            while not stop.is_set():
+                client = mine[count % len(mine)]
+                client.write_file(f"/s{shard}n{count}", payload)
+                count += 1
+
+        greedy_threads = [
+            threading.Thread(target=greedy_worker, args=(k,)) for k in range(2)
+        ]
+        jobs = [
+            timed_write(client, f"/f{c}o{o}", latencies_by[tid], lock)
+            for tid in polite_ids
+            for c, client in enumerate(sessions[tid])
+            for o in range(args.ops)
+        ]
+        # The greedy tenant runs for at least 2s of wall clock even if
+        # the polite cohort drains faster — a shorter window would let
+        # the one-time burst allowance dominate the rate measurement.
+        window_start = time.monotonic()
+        for t in greedy_threads:
+            t.start()
+        elapsed, errors = run_pool(jobs)
+        hold = 2.0 - (time.monotonic() - window_start)
+        if hold > 0:
+            time.sleep(hold)
+        stop.set()
+        for t in greedy_threads:
+            t.join()
+        window = time.monotonic() - window_start
+        if errors:
+            print(f"FAIL: mixed phase raised {errors[:3]}")
+            return 1
+
+        stats = gw.tenant_stats()
+
+    print(
+        f"phase 2  mixed run drained in {elapsed:.2f}s; per-tenant fairness:"
+    )
+    header = (
+        f"  {'tenant':<12} {'appends':>8} {'MB':>8} {'KB/s':>9} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'wait s':>7} {'rej':>4}"
+    )
+    print(header)
+    pooled: list[float] = []
+    for tid in polite_ids + ["greedy"]:
+        s = stats[tid]
+        if tid == "greedy":
+            p50_ms = p99_ms = float("nan")
+        else:
+            samples = sorted(latencies_by[tid])
+            pooled += samples
+            p50_ms = samples[len(samples) // 2] * 1e3
+            p99_ms = p99(samples) * 1e3
+        rate_window = window if tid == "greedy" else elapsed
+        print(
+            f"  {tid:<12} {s['ops']['append']:>8} "
+            f"{s['bytes_in'] / 2**20:>8.2f} "
+            f"{s['bytes_in'] / rate_window / 1024:>9.1f} "
+            f"{p50_ms:>8.2f} {p99_ms:>8.2f} "
+            f"{s['throttle_wait_s']:>7.2f} {s['admission_rejections']:>4}"
+        )
+
+    failures = []
+    greedy_bps = stats["greedy"]["bytes_in"] / window
+    allowed = 1.25 * (cap_bps + cap_bps * burst_seconds / window)
+    if greedy_bps > allowed:
+        failures.append(
+            f"greedy tenant ran at {greedy_bps / 1024:.1f} KB/s, past its "
+            f"{cap_bps / 1024:.0f} KB/s cap"
+        )
+    if stats["greedy"]["throttle_wait_s"] <= 0:
+        failures.append("greedy tenant was never paced by its bucket")
+    expected_ops = args.clients * args.ops
+    for tid in polite_ids:
+        if len(latencies_by[tid]) != expected_ops:
+            failures.append(f"{tid} finished {len(latencies_by[tid])}/{expected_ops} ops")
+    mixed_p99 = p99(pooled)
+    if mixed_p99 > 3 * solo_p99:
+        failures.append(
+            f"polite cohort starved: pooled p99 {mixed_p99 * 1e3:.2f} ms "
+            f"is {mixed_p99 / solo_p99:.1f}x the solo reference"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: greedy held to {greedy_bps / 1024:.1f} KB/s "
+        f"(cap {cap_bps / 1024:.0f} KB/s, waited "
+        f"{stats['greedy']['throttle_wait_s']:.2f}s), polite pooled p99 "
+        f"{mixed_p99 * 1e3:.2f} ms <= 3x solo {solo_p99 * 1e3:.2f} ms"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -616,6 +858,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "zerocopy":
         return _run_zerocopy_demo(args)
+
+    if args.command == "gateway":
+        return _run_gateway_demo(args)
 
     scale = FULL if args.full else QUICK
     which = sorted(ALL_FIGURES) if args.which == "all" else [args.which]

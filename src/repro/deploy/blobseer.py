@@ -37,6 +37,7 @@ from repro.blob.block import (
     SyntheticPayload,
     concat,
 )
+from repro.blob.config import StoreConfig
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.provider_manager import ProviderManagerCore
 from repro.blob.segment_tree import DescentPlan, NodeKey, TreeNode, build_patch
@@ -75,11 +76,24 @@ class SimBlobSeer:
         seed: int = 0,
         metadata_replication: int = 1,
         commit_window: Optional[float] = None,
+        config: Optional[StoreConfig] = None,
     ):
         if not provider_nodes:
             raise ValueError("need at least one data provider node")
         if not metadata_nodes:
             raise ValueError("need at least one metadata provider node")
+        if config is not None:
+            # One description of a store for both layers: the functional
+            # LocalBlobStore and this simulated deployment share a
+            # StoreConfig, which overrides the matching loose kwargs.
+            # Topology fields (provider counts, block size) stay with the
+            # explicit node lists — the cluster defines the topology here.
+            config.validate()
+            placement = config.placement
+            seed = config.seed
+            metadata_replication = config.metadata_replication
+            if config.group_commit and config.publish_window > 0:
+                commit_window = config.publish_window
         self.cluster = cluster
         self.cal = calibration
         self.metadata_replication = metadata_replication

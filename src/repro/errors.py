@@ -20,6 +20,11 @@ __all__ = [
     "ProviderError",
     "ProviderUnavailable",
     "ReplicationError",
+    "GatewayError",
+    "UnknownTenant",
+    "TenantAuthError",
+    "QuotaExceeded",
+    "AdmissionRejected",
     "FileSystemError",
     "FileNotFound",
     "FileAlreadyExists",
@@ -110,6 +115,58 @@ class ProviderUnavailable(ProviderError):
 
 class ReplicationError(BlobError):
     """Not enough live providers to satisfy the requested replication level."""
+
+
+# --------------------------------------------------------------------------
+# Multi-tenant gateway (the service front door, DESIGN.md §12)
+# --------------------------------------------------------------------------
+
+
+class GatewayError(ReproError):
+    """Base class for errors raised by the multi-tenant gateway."""
+
+
+class UnknownTenant(GatewayError, KeyError):
+    """The tenant id has never been registered with this gateway."""
+
+
+class TenantAuthError(GatewayError):
+    """The presented access token does not match the tenant's."""
+
+
+class QuotaExceeded(GatewayError):
+    """A write would push the tenant past its stored-bytes quota.
+
+    Raised *before* any placement is allocated — an over-quota write
+    never charges the load balancer, stores a block, or consumes a
+    version ticket.  Carries the accounting that made the decision so
+    clients can size a retry.
+    """
+
+    def __init__(self, tenant_id: str, requested: int, used: int, quota: int):
+        super().__init__(
+            f"tenant {tenant_id!r} over quota: {used} + {requested} "
+            f"requested > {quota} bytes allowed"
+        )
+        self.tenant_id = tenant_id
+        self.requested = requested
+        self.used = used
+        self.quota = quota
+
+
+class AdmissionRejected(GatewayError):
+    """Admission control refused the operation without queueing it.
+
+    Raised when a tenant is past its in-flight cap, or when draining
+    its token-bucket backlog would exceed the policy's queue timeout.
+    The operation had no effect; retry after backing off.
+    """
+
+    def __init__(self, tenant_id: str, op: str, reason: str):
+        super().__init__(f"tenant {tenant_id!r} {op} rejected: {reason}")
+        self.tenant_id = tenant_id
+        self.op = op
+        self.reason = reason
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,21 @@
+"""Multi-tenant gateway: the service front door over a blob store.
+
+See DESIGN.md §12.  :class:`Gateway` owns the shared store and the
+tenant registry; :class:`GatewayClient` is one tenant's authenticated,
+rate-limited, quota-enforced session; :class:`TenantPolicy` declares
+what a tenant may do.
+"""
+
+from repro.gateway.client import GatewayClient, GatewayReadStream, GatewayWriteStream
+from repro.gateway.service import Gateway
+from repro.gateway.tenants import OP_CLASSES, TenantPolicy, TenantState
+
+__all__ = [
+    "Gateway",
+    "GatewayClient",
+    "GatewayReadStream",
+    "GatewayWriteStream",
+    "TenantPolicy",
+    "TenantState",
+    "OP_CLASSES",
+]

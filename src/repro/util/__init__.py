@@ -1,4 +1,4 @@
-"""Shared utilities: byte sizes, block math, stats, deterministic RNG."""
+"""Shared utilities: byte sizes, block math, stats, RNG, rate limiting."""
 
 from repro.util.bytesize import GB, KB, MB, TB, format_size, parse_size
 from repro.util.chunks import (
@@ -11,6 +11,7 @@ from repro.util.chunks import (
     split_range,
 )
 from repro.util.rng import SeedFactory, derive_rng
+from repro.util.throttle import Throttle, TokenBucket
 from repro.util.stats import (
     Summary,
     harmonic_mean,
@@ -35,6 +36,8 @@ __all__ = [
     "align_up",
     "SeedFactory",
     "derive_rng",
+    "Throttle",
+    "TokenBucket",
     "Summary",
     "summarize",
     "harmonic_mean",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore, collect_garbage
+from repro.blob import LocalBlobStore, StoreConfig, collect_garbage
 from repro.errors import BlobError, VersionNotFound, VersionNotReady
 
 BS = 16
@@ -10,7 +10,7 @@ BS = 16
 
 @pytest.fixture
 def store():
-    return LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+    return LocalBlobStore(config=StoreConfig(data_providers=5, metadata_providers=2, block_size=BS))
 
 
 def setup_source(store):

@@ -10,14 +10,14 @@ import threading
 
 import pytest
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 
 BS = 32
 
 
 @pytest.fixture
 def store():
-    return LocalBlobStore(data_providers=8, metadata_providers=3, block_size=BS)
+    return LocalBlobStore(config=StoreConfig(data_providers=8, metadata_providers=3, block_size=BS))
 
 
 class TestThreadedWriters:

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.blob.diff import BlockRange, changed_ranges
 
 BS = 16
@@ -12,7 +12,7 @@ BS = 16
 
 @pytest.fixture
 def store():
-    return LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+    return LocalBlobStore(config=StoreConfig(data_providers=5, metadata_providers=2, block_size=BS))
 
 
 class TestChangedRanges:
@@ -107,7 +107,7 @@ class TestDiffAgainstBruteForce:
     def test_property_diff_equals_block_id_comparison(self, ops):
         """The tree diff must agree with brute-force descriptor
         comparison on every pair of consecutive versions."""
-        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
         blob = store.create()
         size_blocks = 0
         applied = 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore, collect_garbage
+from repro.blob import LocalBlobStore, StoreConfig, collect_garbage
 from repro.errors import BlobError, VersionNotFound
 
 BS = 16
@@ -10,7 +10,7 @@ BS = 16
 
 @pytest.fixture
 def store():
-    return LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+    return LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
 
 
 def total_blocks(store):
@@ -154,12 +154,12 @@ class TestOfflineMetadataBuckets:
         """An offline bucket must not abort the pass after a partial
         deletion — its garbage keeps until a pass after recovery, like
         the data-provider sweep."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=4,
             block_size=BS,
             metadata_replication=2,
-        )
+        ))
         blob = store.create()
         store.write(blob, 0, b"a" * (4 * BS))
         store.write(blob, 0, b"b" * (4 * BS))  # v1 becomes garbage
@@ -180,12 +180,12 @@ class TestOfflineMetadataBuckets:
         assert store.read(blob, version=2) == b"b" * (4 * BS)
 
     def test_gc_survives_metadata_bucket_dying_mid_sweep(self):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
             metadata_replication=2,
-        )
+        ))
         blob = store.create()
         store.write(blob, 0, b"a" * (4 * BS))
         store.write(blob, 0, b"b" * (4 * BS))

@@ -13,7 +13,7 @@ import threading
 
 import pytest
 
-from repro.blob import LeafNode, LocalBlobStore, NodeKey, collect_garbage
+from repro.blob import LeafNode, LocalBlobStore, NodeKey, StoreConfig, collect_garbage
 from repro.errors import VersionNotFound
 
 BS = 16
@@ -22,7 +22,7 @@ BS = 16
 def make_store(**kwargs):
     defaults = dict(data_providers=4, metadata_providers=6, block_size=BS)
     defaults.update(kwargs)
-    return LocalBlobStore(**defaults)
+    return LocalBlobStore(config=StoreConfig(**defaults))
 
 
 def tree_depth(nblocks: int) -> int:

@@ -7,19 +7,19 @@ replication, reads survive metadata-provider failures end to end.
 
 import pytest
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.errors import ProviderUnavailable
 
 BS = 16
 
 
 def make_store(metadata_replication):
-    return LocalBlobStore(
+    return LocalBlobStore(config=StoreConfig(
         data_providers=4,
         metadata_providers=4,
         block_size=BS,
         metadata_replication=metadata_replication,
-    )
+    ))
 
 
 class TestMetadataFailover:

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.blob.io_engine import ParallelIOEngine
 from repro.errors import ProviderUnavailable, ReplicationError
 
@@ -95,9 +95,9 @@ class TestParallelIOEngine:
 @pytest.mark.parametrize("io_workers", [0, 4])
 class TestStoreParallelPaths:
     def test_read_write_roundtrip_matches_inline_semantics(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=8, metadata_providers=3, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         data = bytes(i % 251 for i in range(10 * BS + 7))
         store.append(blob, data)
@@ -106,13 +106,13 @@ class TestStoreParallelPaths:
         store.close()
 
     def test_fetch_failover_on_provider_unavailable_mid_read(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.append(blob, b"q" * (4 * BS))
         primary = store.block_locations(blob, 0, BS)[0].providers[0]
@@ -129,13 +129,13 @@ class TestStoreParallelPaths:
         store.close()
 
     def test_read_fails_only_when_every_replica_is_gone(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=2,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.append(blob, b"z" * BS)
         for name in store.block_locations(blob, 0, BS)[0].providers:
@@ -147,13 +147,13 @@ class TestStoreParallelPaths:
 
 class TestConcurrentStress:
     def test_appends_and_reads_while_a_provider_fails_and_recovers(self):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=8,
             metadata_providers=3,
             block_size=BS,
             replication=2,
             io_workers=4,
-        )
+        ))
         blob = store.create()
         store.append(blob, bytes([255]) * BS)  # v1: one block baseline
         n_appenders, appends_each = 4, 8

@@ -21,7 +21,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.blob.version_manager import AssignRequest, VersionManagerCore
 from repro.errors import (
     BlobNotFound,
@@ -183,7 +183,7 @@ def _concurrent_appends(store, blob, writers, rounds, payload_of, extra=None):
 class TestPublishPipeline:
     def test_round_trips_scale_with_batches_not_writers(self):
         writers, rounds = 8, 2
-        with LocalBlobStore(
+        with LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
@@ -191,7 +191,7 @@ class TestPublishPipeline:
             vman_latency=1e-3,
             publish_window=5e-3,
             overlap_publish=True,
-        ) as store:
+        )) as store:
             blob = store.create()
             store.vman_stats.reset()
             _concurrent_appends(
@@ -209,14 +209,14 @@ class TestPublishPipeline:
 
     def test_every_version_reads_back_in_assignment_order(self):
         writers, rounds = 6, 3
-        with LocalBlobStore(
+        with LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
             io_workers=4,
             publish_window=2e-3,
             overlap_publish=True,
-        ) as store:
+        )) as store:
             blob = store.create()
             versions = _concurrent_appends(
                 store, blob, writers, rounds,
@@ -241,13 +241,13 @@ class TestPublishPipeline:
 
     def test_invalid_member_fails_alone(self):
         writers, rounds = 4, 2
-        with LocalBlobStore(
+        with LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
             io_workers=4,
             publish_window=5e-3,
-        ) as store:
+        )) as store:
             blob = store.create()
             bad_error = []
 
@@ -269,9 +269,9 @@ class TestPublishPipeline:
             assert len(store.read(blob)) == writers * rounds * BS
 
     def test_single_threaded_behavior_unchanged(self):
-        with LocalBlobStore(
+        with LocalBlobStore(config=StoreConfig(
             data_providers=2, metadata_providers=2, block_size=BS
-        ) as store:
+        )) as store:
             blob = store.create()
             assert store.append(blob, b"a" * BS) == 1
             assert store.append(blob, b"b" * BS) == 2
@@ -294,14 +294,14 @@ def _run_doomed_scenario(writers, rounds, doomed_round, window):
     invariants: the dead writer tombstones, the watermark advances
     over it, every survivor's append lands intact and in order.
     """
-    store = LocalBlobStore(
+    store = LocalBlobStore(config=StoreConfig(
         data_providers=4,
         metadata_providers=2,
         block_size=BS,
         io_workers=4,
         publish_window=window,
         overlap_publish=True,
-    )
+    ))
     try:
         blob = store.create()
         doomed_error = []
@@ -377,14 +377,14 @@ class TestCrashInsideCommitBatch:
         """Metadata dying while the overlapped scatter is still in
         flight must not strand late-landing replicas: the abort settles
         every transfer first, so the rollback sees the full list."""
-        with LocalBlobStore(
+        with LocalBlobStore(config=StoreConfig(
             data_providers=3,
             metadata_providers=2,
             block_size=BS,
             io_workers=4,
             provider_latency=0.02,  # transfers outlive the metadata failure
             overlap_publish=True,
-        ) as store:
+        )) as store:
             blob = store.create()
             store.append(blob, b"a" * BS)
             before = store.provider_block_counts()
@@ -403,14 +403,14 @@ class TestCrashInsideCommitBatch:
     def test_overlapped_scatter_failure_tombstones_cleanly(self):
         """A provider dying mid-scatter AFTER assignment (overlap mode)
         must tombstone — and the store must keep serving."""
-        with LocalBlobStore(
+        with LocalBlobStore(config=StoreConfig(
             data_providers=2,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=4,
             overlap_publish=True,
-        ) as store:
+        )) as store:
             blob = store.create()
             store.append(blob, b"a" * BS)
             # Fail the provider WITHOUT decommissioning it: placement

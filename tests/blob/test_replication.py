@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore, find_under_replicated, repair_blob
+from repro.blob import LocalBlobStore, StoreConfig, find_under_replicated, repair_blob
 from repro.errors import ReplicationError
 
 BS = 16
@@ -10,9 +10,9 @@ BS = 16
 
 @pytest.fixture
 def store():
-    return LocalBlobStore(
+    return LocalBlobStore(config=StoreConfig(
         data_providers=6, metadata_providers=2, block_size=BS, replication=2
-    )
+    ))
 
 
 class TestDetection:
@@ -67,7 +67,7 @@ class TestRepair:
             repair_blob(store, blob)
 
     def test_not_enough_providers_is_an_error(self):
-        store = LocalBlobStore(data_providers=2, block_size=BS, replication=2)
+        store = LocalBlobStore(config=StoreConfig(data_providers=2, block_size=BS, replication=2))
         blob = store.create()
         store.write(blob, 0, b"a" * BS)
         store.fail_provider(store.block_locations(blob, 0, BS)[0].providers[0])

@@ -20,6 +20,7 @@ from repro.blob import (
     LocalBlobStore,
     MaintenanceDaemon,
     ScrubReport,
+    StoreConfig,
     Throttle,
     collect_garbage,
 )
@@ -35,7 +36,7 @@ def make_store(**kwargs):
         data_providers=4, metadata_providers=4, block_size=BS, replication=1
     )
     defaults.update(kwargs)
-    return LocalBlobStore(**defaults)
+    return LocalBlobStore(config=StoreConfig(**defaults))
 
 
 def co_owned_keys(store, bucket_a, bucket_b):
@@ -487,13 +488,13 @@ class TestPropertyScrubbedStoreReadsBack:
         buckets, a dead data provider), then ONE scrub pass: every
         retained version must read back byte-identical to the model and
         the replicas must be digest-converged."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=6,
             block_size=BS,
             replication=2,
             metadata_replication=2,
-        )
+        ))
         blob = store.create()
         content = b""
         expected = {}

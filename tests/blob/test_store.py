@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore, SyntheticPayload
+from repro.blob import LocalBlobStore, StoreConfig, SyntheticPayload
 from repro.errors import (
     BlobError,
     InvalidRange,
@@ -15,9 +15,9 @@ BS = 64
 
 @pytest.fixture
 def store():
-    return LocalBlobStore(
+    return LocalBlobStore(config=StoreConfig(
         data_providers=8, metadata_providers=3, block_size=BS, seed=0
-    )
+    ))
 
 
 class TestCreate:
@@ -195,13 +195,13 @@ class TestPlacement:
 
 class TestReplicationAndFailover:
     def test_replicated_write_counts(self):
-        store = LocalBlobStore(data_providers=6, block_size=BS, replication=3)
+        store = LocalBlobStore(config=StoreConfig(data_providers=6, block_size=BS, replication=3))
         blob = store.create()
         store.write(blob, 0, b"r" * (2 * BS))
         assert sum(store.provider_block_counts().values()) == 6
 
     def test_read_fails_over_to_replica(self):
-        store = LocalBlobStore(data_providers=6, block_size=BS, replication=2)
+        store = LocalBlobStore(config=StoreConfig(data_providers=6, block_size=BS, replication=2))
         blob = store.create()
         store.write(blob, 0, b"r" * BS)
         primary = store.block_locations(blob, 0, BS)[0].providers[0]

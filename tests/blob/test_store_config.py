@@ -1,0 +1,159 @@
+"""StoreConfig: the validated construction surface of LocalBlobStore.
+
+Covers the three contract points of the API redesign:
+
+* ``LocalBlobStore(config=StoreConfig(...))`` is the canonical path;
+* every one of the sixteen legacy keywords round-trips through the
+  deprecation shim into the identical ``StoreConfig`` (with a
+  ``DeprecationWarning``);
+* ``validate()`` rejects the documented silently-broken combinations
+  with messages that name the offending fields.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.blob import LocalBlobStore, StoreConfig
+from repro.blob.provider_manager import RandomPolicy
+
+#: One non-default value per field, exercising the whole surface.
+NON_DEFAULTS = dict(
+    data_providers=5,
+    metadata_providers=3,
+    block_size="32KB",
+    replication=2,
+    metadata_replication=2,
+    placement="least_loaded",
+    seed=7,
+    io_workers=2,
+    provider_latency=0.001,
+    metadata_latency=0.002,
+    metadata_cache_nodes=64,
+    metadata_batching=False,
+    vman_latency=0.003,
+    group_commit=False,
+    publish_window=0.0,
+    overlap_publish=True,
+)
+
+
+class TestStoreConfig:
+    def test_field_set_matches_the_sixteen_legacy_keywords(self):
+        assert set(StoreConfig.__dataclass_fields__) == set(NON_DEFAULTS)
+
+    def test_defaults_validate(self):
+        config = StoreConfig()
+        assert config.validate() is config
+
+    def test_derived_views(self):
+        config = StoreConfig(data_providers=2, metadata_providers=2, block_size="1KB")
+        assert config.provider_names() == ["provider-000", "provider-001"]
+        assert config.metadata_bucket_names() == ["mdp-000", "mdp-001"]
+        assert config.block_size_bytes() == 1024
+
+    def test_explicit_names_pass_through(self):
+        config = StoreConfig(data_providers=["a", "b"], metadata_providers=["m"])
+        assert config.provider_names() == ["a", "b"]
+        assert config.metadata_bucket_names() == ["m"]
+
+    def test_replace_returns_a_modified_copy(self):
+        base = StoreConfig()
+        tweaked = base.replace(replication=3, data_providers=8)
+        assert tweaked.replication == 3 and base.replication == 1
+        assert isinstance(tweaked, StoreConfig)
+
+
+class TestCanonicalConstruction:
+    def test_config_object_is_canonical_and_warning_free(self, recwarn):
+        store = LocalBlobStore(
+            config=StoreConfig(data_providers=3, block_size="4KB", replication=2)
+        )
+        assert [w for w in recwarn.list if w.category is DeprecationWarning] == []
+        assert store.block_size == 4096
+        assert store.replication == 2
+        assert len(store.providers) == 3
+        assert store.config.data_providers == 3
+        store.close()
+
+    def test_no_arguments_builds_the_default_config(self):
+        store = LocalBlobStore()
+        assert store.config == StoreConfig()
+        store.close()
+
+    def test_invalid_config_is_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="replication"):
+            LocalBlobStore(config=StoreConfig(data_providers=2, replication=5))
+
+    def test_config_must_be_a_storeconfig(self):
+        with pytest.raises(TypeError, match="StoreConfig"):
+            LocalBlobStore(config={"data_providers": 4})
+
+
+class TestLegacyShim:
+    def test_every_legacy_keyword_round_trips(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            store = LocalBlobStore(**NON_DEFAULTS)
+        expected = dataclasses.asdict(StoreConfig(**NON_DEFAULTS))
+        assert dataclasses.asdict(store.config) == expected
+        assert store.block_size == 32 * 1024
+        assert store.replication == 2
+        store.close()
+
+    def test_single_legacy_keyword_keeps_other_defaults(self):
+        with pytest.warns(DeprecationWarning):
+            store = LocalBlobStore(data_providers=2)
+        assert store.config == StoreConfig(data_providers=2)
+        store.close()
+
+    def test_unknown_keyword_is_a_type_error(self):
+        with pytest.raises(TypeError, match="num_providers"):
+            LocalBlobStore(num_providers=4)
+
+    def test_mixing_config_and_legacy_keywords_is_refused(self):
+        with pytest.raises(TypeError):
+            LocalBlobStore(config=StoreConfig(), data_providers=4)
+
+    def test_shim_still_validates(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="overlap_publish"):
+                LocalBlobStore(overlap_publish=True, io_workers=0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        ("changes", "match"),
+        [
+            (dict(data_providers=0), "at least one provider"),
+            (dict(metadata_providers=0), "at least one bucket"),
+            (dict(data_providers=["a", "a"]), "duplicate data-provider"),
+            (dict(metadata_providers=["m", "m"]), "duplicate metadata-bucket"),
+            (dict(block_size=0), "block_size"),
+            (dict(replication=0), "replication must be >= 1"),
+            (dict(data_providers=2, replication=3), "exceeds the 2 configured"),
+            (dict(metadata_replication=0), "metadata_replication must be >= 1"),
+            (dict(metadata_providers=1, metadata_replication=2), "exceeds the 1"),
+            (dict(placement="zigzag"), "unknown placement"),
+            (dict(io_workers=-1), "io_workers"),
+            (dict(provider_latency=-0.1), "provider_latency"),
+            (dict(metadata_latency=-0.1), "metadata_latency"),
+            (dict(vman_latency=-0.1), "vman_latency"),
+            (dict(metadata_cache_nodes=-1), "metadata_cache_nodes"),
+            (dict(publish_window=-0.1), "publish_window"),
+            (dict(overlap_publish=True, io_workers=0), "requires io_workers > 0"),
+            (dict(publish_window=0.01, group_commit=False), "dead weight"),
+        ],
+    )
+    def test_rejects_invalid_combo(self, changes, match):
+        with pytest.raises(ValueError, match=match):
+            StoreConfig(**changes).validate()
+
+    def test_bool_provider_count_is_the_documented_typo_trap(self):
+        with pytest.raises(ValueError, match="count or name list"):
+            StoreConfig(data_providers=True).validate()
+
+    def test_placement_instance_is_accepted(self):
+        config = StoreConfig(placement=RandomPolicy())
+        assert config.validate() is config
+        store = LocalBlobStore(config=config)
+        store.close()

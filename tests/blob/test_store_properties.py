@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.errors import InvalidRange
 
 BS = 16  # small blocks -> deep trees with little data
@@ -96,7 +96,7 @@ class TestStoreAgainstModel:
     @given(ops=op_sequences())
     @settings(max_examples=60)
     def test_every_version_matches_model(self, ops):
-        store = LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=5, metadata_providers=2, block_size=BS))
         model = ModelBlob()
         blob = store.create()
         for kind, offset, data in ops:
@@ -114,7 +114,7 @@ class TestStoreAgainstModel:
     @given(ops=op_sequences(), data=st.data())
     @settings(max_examples=60)
     def test_random_subrange_reads_match_model(self, ops, data):
-        store = LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=5, metadata_providers=2, block_size=BS))
         model = ModelBlob()
         blob = store.create()
         for kind, offset, payload in ops:
@@ -142,7 +142,7 @@ class TestStoreAgainstModel:
     def test_metadata_is_shared_not_copied(self, ops):
         """Patch cost per write is O(blocks_written + log(total_blocks)),
         never a full tree copy."""
-        store = LocalBlobStore(data_providers=5, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=5, metadata_providers=2, block_size=BS))
         blob = store.create()
         total_nodes_before = sum(store.metadata.load_by_provider().values())
         for kind, offset, payload in ops:
@@ -162,7 +162,7 @@ class TestStoreAgainstModel:
     @settings(max_examples=20)
     def test_reads_of_any_published_prefix_are_stable(self, n_appends):
         """Repeatedly appending never perturbs earlier snapshots."""
-        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
         blob = store.create()
         snapshots = {}
         for i in range(1, n_appends + 1):
@@ -174,7 +174,7 @@ class TestStoreAgainstModel:
 
 class TestInvalidOpsDontCorrupt:
     def test_failed_write_leaves_store_consistent(self):
-        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
         blob = store.create()
         store.write(blob, 0, b"a" * BS)
         with pytest.raises(InvalidRange):

@@ -15,6 +15,7 @@ import pytest
 
 from repro.blob import (
     LocalBlobStore,
+    StoreConfig,
     build_tombstone_patch,
     collect_garbage,
     find_under_replicated,
@@ -43,13 +44,13 @@ class TestFailedWriteRollback:
         # *without telling the provider manager* (so allocation still
         # targets it), then append.  The put to the dead provider fails;
         # the replica already stored on the live one must be deleted.
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=2,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         pre_providers = snapshot_provider_state(store)
         pre_allocator = store.provider_manager.block_counts()
@@ -63,13 +64,13 @@ class TestFailedWriteRollback:
         store.close()
 
     def test_multi_block_failure_rolls_back_every_stored_replica(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.append(blob, b"a" * (6 * BS))  # some healthy baseline data
         pre_providers = snapshot_provider_state(store)
@@ -88,14 +89,14 @@ class TestFailedWriteRollback:
         store.close()
 
     def test_least_loaded_placement_not_skewed_by_failed_writes(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=3,
             metadata_providers=2,
             block_size=BS,
             replication=1,
             placement="least_loaded",
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.providers["provider-000"].fail()
         # Repeated failed writes against the dead provider must not
@@ -117,9 +118,9 @@ class TestFailedWriteRollback:
         # release it exactly once, not a second time.
         if io_workers:
             pytest.skip("deterministic put interleaving needs the inline path")
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=2, metadata_providers=2, block_size=BS, replication=2
-        )
+        ))
         blob = store.create()
         store.append(blob, b"\0" * BS)  # v1: healthy baseline
         baseline_alloc = store.provider_manager.block_counts()
@@ -163,9 +164,9 @@ class TestFailedWriteRollback:
         # Blocks go out in Phase 1; the version manager validates the
         # range in Phase 2.  A rejected write (unaligned append,
         # misaligned offset, hole) must clean up its Phase-1 blocks.
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         store.write(blob, 0, b"\0" * (BS + 3))  # unaligned size: appends now invalid
         pre_providers = snapshot_provider_state(store)
@@ -184,13 +185,13 @@ class TestFailedWriteRollback:
         store.close()
 
     def test_keyboard_interrupt_mid_write_still_rolls_back(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=2,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.append(blob, b"\0" * BS)
         pre_providers = snapshot_provider_state(store)
@@ -213,9 +214,9 @@ class TestFailedWriteRollback:
     def test_gc_survives_provider_dying_mid_sweep(self, io_workers):
         if io_workers:
             pytest.skip("single-scenario test; engine adds nothing here")
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=2, metadata_providers=2, block_size=BS, replication=1
-        )
+        ))
         blob = store.create()
         store.append(blob, b"\0" * (4 * BS))
         store.write(blob, 0, b"\1" * (4 * BS))  # v2 replaces all v1 blocks
@@ -243,9 +244,9 @@ class TestFailedWriteRollback:
     def test_gc_does_not_release_charges_for_already_deleted_blocks(self, io_workers):
         if io_workers:
             pytest.skip("single-scenario test; engine adds nothing here")
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=1, metadata_providers=2, block_size=BS, replication=1
-        )
+        ))
         blob = store.create()
         store.append(blob, b"\0" * BS)
         store.write(blob, 0, b"\1" * BS)  # v1's block becomes garbage
@@ -273,13 +274,13 @@ class TestFailedWriteRollback:
         store.close()
 
     def test_successful_write_after_rollback_reuses_capacity(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=2,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.providers["provider-001"].fail()
         with pytest.raises(ProviderUnavailable):
@@ -317,9 +318,9 @@ class TestWriteAbortTombstone:
     weakness) aborts into a tombstone instead of wedging the store."""
 
     def test_publish_failure_aborts_cleanly(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         store.append(blob, b"a" * (4 * BS))  # v1: healthy baseline
         pre_providers = snapshot_provider_state(store)
@@ -346,9 +347,9 @@ class TestWriteAbortTombstone:
         store.close()
 
     def test_write_and_gc_succeed_after_abort(self, io_workers):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         store.append(blob, b"a" * (4 * BS))
         undo = fail_publish_for_version(store, 2)
@@ -375,9 +376,9 @@ class TestWriteAbortTombstone:
     def test_interior_overwrite_abort_serves_prior_content(self, io_workers):
         """Redirect leaves: an aborted overwrite's tombstone resolves to
         the woven state without the dead write."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         store.write(blob, 0, b"a" * (4 * BS))  # v1
         undo = fail_publish_for_version(store, 2)
@@ -401,7 +402,7 @@ class TestWriteAbortTombstone:
         metadata must resolve through A's filler nodes."""
         if io_workers:
             pytest.skip("deterministic publish interleaving needs the inline path")
-        store = LocalBlobStore(data_providers=4, metadata_providers=2, block_size=BS)
+        store = LocalBlobStore(config=StoreConfig(data_providers=4, metadata_providers=2, block_size=BS))
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))  # v1
         holder = {}
@@ -443,9 +444,9 @@ class TestWriteAbortTombstone:
     def test_publish_hook_error_does_not_roll_back(self, io_workers):
         """A raising publication hook is a reporting problem, not a
         write failure: the snapshot committed and must stand."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
 
         def bad_hook(blob_id, watermark):
@@ -466,9 +467,9 @@ class TestWriteAbortTombstone:
         """A BaseException escaping the hooks after commit (hooks only
         shield Exception) must not route the published snapshot into
         the abort path — its blocks belong to readers now."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
 
         def interrupting_hook(blob_id, watermark):
@@ -485,9 +486,9 @@ class TestWriteAbortTombstone:
     def test_republish_refuses_in_flight_versions(self, io_workers):
         """republish_tombstone against a healthy in-flight write must
         not force-overwrite its metadata with filler."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         store.append(blob, b"a" * BS)
         store.version_manager.assign_append(blob, BS)  # v2 in flight
@@ -500,9 +501,9 @@ class TestWriteAbortTombstone:
         ancestor: republishing via the branch must heal the ancestor's
         keys (which is where readers resolve), not mint unreachable
         nodes under the branch's id."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
-        )
+        ))
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))  # v1
         real_patch = store.metadata.put_patch
@@ -537,13 +538,13 @@ class TestWriteAbortTombstone:
     def test_tombstone_needs_no_replication_repair(self, io_workers):
         """Zero leaves store nothing: the repair scan must not flag
         (or crash on) them."""
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4,
             metadata_providers=2,
             block_size=BS,
             replication=2,
             io_workers=io_workers,
-        )
+        ))
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))
         undo = fail_publish_for_version(store, 2)
@@ -587,9 +588,9 @@ def make_chaos_store():
     h1 = ((1, 0, 4),)
     h2 = ((1, 0, 4), (2, 4, 6))
     for n_buckets in (8, 16, 24, 32, 48, 64, 96):
-        store = LocalBlobStore(
+        store = LocalBlobStore(config=StoreConfig(
             data_providers=4, metadata_providers=n_buckets, block_size=BS
-        )
+        ))
         blob = store.create("chaos")
         v1_keys = _patch_keys(blob, 1, 0, 4, 4 * BS, 0, ())
         v2_keys = _patch_keys(blob, 2, 4, 6, 6 * BS, 4 * BS, h1)

@@ -13,7 +13,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.blob import BytesPayload, CopyStats, LocalBlobStore, SyntheticPayload, concat
+from repro.blob import (
+    BytesPayload,
+    CopyStats,
+    LocalBlobStore,
+    StoreConfig,
+    SyntheticPayload,
+    concat,
+)
 from repro.errors import InvalidRange, ProviderUnavailable
 from repro.util.chunks import dest_windows
 
@@ -24,7 +31,7 @@ def make_store(**kwargs):
     kwargs.setdefault("data_providers", 4)
     kwargs.setdefault("metadata_providers", 2)
     kwargs.setdefault("block_size", BS)
-    return LocalBlobStore(**kwargs)
+    return LocalBlobStore(config=StoreConfig(**kwargs))
 
 
 def fail_publish_for_version(store, version):

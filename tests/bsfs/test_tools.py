@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 from repro.bsfs.tools import concurrent_copy
 from repro.errors import FileSystemError
@@ -13,7 +13,7 @@ BS = 64
 @pytest.fixture
 def fs():
     return BSFSFileSystem(
-        store=LocalBlobStore(data_providers=8, metadata_providers=3, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=8, metadata_providers=3, block_size=BS))
     )
 
 

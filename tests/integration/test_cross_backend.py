@@ -9,7 +9,7 @@ extras (append, versioning) through the same job pipeline.
 
 import pytest
 
-from repro.blob import LocalBlobStore, collect_garbage
+from repro.blob import LocalBlobStore, StoreConfig, collect_garbage
 from repro.bsfs import BSFSFileSystem
 from repro.hdfs import HDFSFileSystem
 from repro.mapreduce import LocalJobRunner
@@ -20,7 +20,7 @@ BS = 512
 
 def backends():
     bsfs = BSFSFileSystem(
-        store=LocalBlobStore(data_providers=8, metadata_providers=3, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=8, metadata_providers=3, block_size=BS))
     )
     hdfs = HDFSFileSystem(datanodes=8, block_size=BS, seed=11)
     return {"bsfs": bsfs, "hdfs": hdfs}

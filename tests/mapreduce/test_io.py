@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 from repro.mapreduce import compute_file_splits, iter_lines, write_text_records
 
@@ -12,7 +12,7 @@ BS = 64
 @pytest.fixture
 def fs():
     return BSFSFileSystem(
-        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=6, metadata_providers=2, block_size=BS))
     )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 from repro.errors import JobFailed
 from repro.hdfs import HDFSFileSystem
@@ -14,7 +14,7 @@ BS = 256
 
 def make_bsfs():
     return BSFSFileSystem(
-        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=6, metadata_providers=2, block_size=BS))
     )
 
 

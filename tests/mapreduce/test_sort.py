@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.blob import LocalBlobStore
+from repro.blob import LocalBlobStore, StoreConfig
 from repro.bsfs import BSFSFileSystem
 from repro.mapreduce import LocalJobRunner
 from repro.mapreduce.apps import range_partitioner, sample_cut_points, sort_job
@@ -14,7 +14,7 @@ BS = 256
 
 def make_fs():
     return BSFSFileSystem(
-        store=LocalBlobStore(data_providers=6, metadata_providers=2, block_size=BS)
+        store=LocalBlobStore(config=StoreConfig(data_providers=6, metadata_providers=2, block_size=BS))
     )
 
 
