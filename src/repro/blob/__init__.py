@@ -19,10 +19,11 @@ from repro.blob.block import (
     concat,
     materialize,
 )
+from repro.blob.async_engine import AsyncIOEngine
 from repro.blob.config import StoreConfig
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.diff import BlockRange, changed_ranges, diff_snapshots
-from repro.blob.io_engine import ParallelIOEngine
+from repro.blob.io_engine import EngineStats, ParallelIOEngine
 from repro.blob.gc import GcReport, collect_garbage
 from repro.blob.metadata import MetadataService, NodeCache
 from repro.blob.provider_manager import (
@@ -109,6 +110,8 @@ __all__ = [
     "make_policy",
     "DataProviderCore",
     "ParallelIOEngine",
+    "AsyncIOEngine",
+    "EngineStats",
     "MetadataService",
     "NodeCache",
     "LocalBlobStore",

@@ -55,6 +55,17 @@ class StoreConfig:
         placement: policy name or instance (default BlobSeer round-robin).
         seed: seed for any stochastic policy (random placement).
         io_workers: scatter-gather pool threads (0 = inline I/O).
+            Under ``io_scheduler="async"`` this sizes the engine's
+            small helper pool instead (read-ahead submit work).
+        io_scheduler: data-plane scheduler backend — ``"threads"``
+            (the :class:`~repro.blob.io_engine.ParallelIOEngine`
+            pool; concurrency costs one OS thread per in-flight
+            transfer) or ``"async"`` (the single-event-loop
+            :class:`~repro.blob.async_engine.AsyncIOEngine`;
+            in-flight transfers are coroutines, DESIGN.md §13).
+        max_in_flight: in-flight transfer window of the async
+            scheduler (ignored under ``"threads"``, where
+            ``io_workers`` is the cap).
         provider_latency: simulated service time per data-provider op.
         metadata_latency: simulated service time per metadata-bucket
             *request* — a batched multi-get/put pays it once per bucket
@@ -83,6 +94,8 @@ class StoreConfig:
     placement: Union[str, PlacementPolicy] = "round_robin"
     seed: int = 0
     io_workers: int = 0
+    io_scheduler: str = "threads"
+    max_in_flight: int = 1024
     provider_latency: float = 0.0
     metadata_latency: float = 0.0
     metadata_cache_nodes: int = 1024
@@ -157,6 +170,15 @@ class StoreConfig:
             )
         if self.io_workers < 0:
             raise ValueError(f"io_workers must be >= 0, got {self.io_workers}")
+        if self.io_scheduler not in ("threads", "async"):
+            raise ValueError(
+                f"io_scheduler must be 'threads' or 'async', "
+                f"got {self.io_scheduler!r}"
+            )
+        if self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
         for field in ("provider_latency", "metadata_latency", "vman_latency"):
             if getattr(self, field) < 0:
                 raise ValueError(
@@ -170,11 +192,16 @@ class StoreConfig:
             raise ValueError(
                 f"publish_window must be >= 0, got {self.publish_window}"
             )
-        if self.overlap_publish and self.io_workers == 0:
+        if (
+            self.overlap_publish
+            and self.io_workers == 0
+            and self.io_scheduler != "async"
+        ):
             raise ValueError(
-                "overlap_publish=True requires io_workers > 0: the overlap "
-                "launches the block scatter on the I/O engine, and with no "
-                "engine it silently degrades to the serial path"
+                "overlap_publish=True requires io_workers > 0 (or "
+                "io_scheduler='async'): the overlap launches the block "
+                "scatter on the I/O engine, and with no engine it silently "
+                "degrades to the serial path"
             )
         if self.publish_window > 0 and not self.group_commit:
             raise ValueError(

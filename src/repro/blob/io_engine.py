@@ -30,19 +30,107 @@ wrapper fixing that:
 One engine is shared per :class:`~repro.blob.store.LocalBlobStore`, so
 every layer above (BSFS streams, the MapReduce record readers) draws
 from the same bounded pool instead of spawning threads ad hoc.
+
+This thread pool is the ``threads`` scheduler backend; the ``async``
+backend (:class:`~repro.blob.async_engine.AsyncIOEngine`, DESIGN.md
+§13) exposes the same ``map``/``map_settle``/``submit_each``/``submit``
+surface on a single event loop.  The shared surface grew two optional
+keyword parameters for that scheduler's benefit — ``afn`` (a coroutine
+twin of the task callable) and ``dest`` (a per-item destination key for
+per-provider/bucket concurrency caps) — which the thread backend
+accepts and deliberately ignores: threads block on the simulated
+service time anyway, and the bounded pool itself caps concurrency.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-__all__ = ["ParallelIOEngine"]
+__all__ = ["EngineStats", "ParallelIOEngine"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class EngineStats:
+    """Scheduler-behavior counters shared by both engine backends.
+
+    The observable difference between the ``threads`` and ``async``
+    schedulers is *how* concurrency is paid for, and these counters are
+    how tests and benchmarks verify it (ISSUE 9 acceptance):
+
+    * ``threads_started`` — OS threads the engine ever spawned (pool
+      workers, the event-loop thread, helper threads).  10k in-flight
+      blocks cost ~10k coroutines and a handful of threads on the
+      async backend; the thread backend pays one worker per stream.
+    * ``in_flight`` / ``in_flight_hwm`` — tasks currently executing
+      (holding an in-flight slot) and the high-water mark.
+    * ``queue_wait_total`` / ``queue_wait_max`` — seconds tasks spent
+      waiting for a slot (pool queue or semaphore) before starting.
+
+    All methods are thread-safe; the async engine calls them from its
+    loop thread, the thread engine from every worker plus the caller.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.threads_started = 0
+        self._zero()
+
+    def _zero(self) -> None:
+        self.tasks_started = 0
+        self.tasks_finished = 0
+        self.in_flight = 0
+        self.in_flight_hwm = 0
+        self.queue_wait_total = 0.0
+        self.queue_wait_max = 0.0
+
+    def reset(self) -> None:
+        """Zero the per-task counters.
+
+        ``threads_started`` is deliberately kept: threads are an
+        engine-lifetime cost (the ISSUE-9 acceptance criterion), not a
+        per-phase one, and a reset between a benchmark's setup and its
+        measured phase must not hide workers spawned during setup.
+        """
+        with self._lock:
+            self._zero()
+
+    def thread_started(self) -> None:
+        with self._lock:
+            self.threads_started += 1
+
+    def task_started(self, queue_wait: float = 0.0) -> None:
+        with self._lock:
+            self.tasks_started += 1
+            self.in_flight += 1
+            if self.in_flight > self.in_flight_hwm:
+                self.in_flight_hwm = self.in_flight
+            self.queue_wait_total += queue_wait
+            if queue_wait > self.queue_wait_max:
+                self.queue_wait_max = queue_wait
+
+    def task_finished(self) -> None:
+        with self._lock:
+            self.tasks_finished += 1
+            self.in_flight -= 1
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "threads_started": self.threads_started,
+                "tasks_started": self.tasks_started,
+                "tasks_finished": self.tasks_finished,
+                "in_flight": self.in_flight,
+                "in_flight_hwm": self.in_flight_hwm,
+                "queue_wait_total": self.queue_wait_total,
+                "queue_wait_max": self.queue_wait_max,
+            }
 
 
 class ParallelIOEngine:
@@ -55,12 +143,18 @@ class ParallelIOEngine:
         name: thread-name prefix (diagnostics).
     """
 
+    #: Class marker for the scheduler backend ("threads" vs "async").
+    scheduler = "threads"
+
     def __init__(self, max_workers: int, name: str = "blob-io"):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.stats = EngineStats()
         self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix=name
+            max_workers=max_workers,
+            thread_name_prefix=name,
+            initializer=self._thread_init,
         )
         # Marks threads that belong to this pool: a map() issued *from*
         # a pool thread (e.g. a read-ahead task fanning out a nested
@@ -69,9 +163,9 @@ class ParallelIOEngine:
         self._on_pool = threading.local()
         self._closed = False
 
-    def _marked(self, fn, *args, **kwargs):
+    def _thread_init(self) -> None:
         self._on_pool.active = True
-        return fn(*args, **kwargs)
+        self.stats.thread_started()
 
     @property
     def in_worker(self) -> bool:
@@ -86,7 +180,13 @@ class ParallelIOEngine:
 
     # -- scatter-gather -----------------------------------------------------------
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        afn: Optional[Callable] = None,
+        dest: Optional[Callable[[T], object]] = None,
+    ) -> list[R]:
         """Apply *fn* to every item concurrently; results in input order.
 
         The calling thread executes items alongside the pool.  On the
@@ -94,14 +194,19 @@ class ParallelIOEngine:
         already-running ones are awaited, and the error is re-raised —
         callers observe either every result or a prompt failure, never
         a silent partial success.
+
+        ``afn``/``dest`` exist for surface parity with the async
+        scheduler and are ignored here (see the module docstring).
         """
+        del afn, dest  # threads backend: blocking twins, pool-bounded
         work: Sequence[T] = list(items)
         if len(work) <= 1 or self.in_worker:
             return [fn(item) for item in work]
 
-        pending: "queue.SimpleQueue[tuple[int, T]]" = queue.SimpleQueue()
+        pending: "queue.SimpleQueue[tuple[int, T, float]]" = queue.SimpleQueue()
+        now = time.perf_counter()
         for i, item in enumerate(work):
-            pending.put((i, item))
+            pending.put((i, item, now))
         results: list[Optional[R]] = [None] * len(work)
         errors: list[BaseException] = []
         error_seen = threading.Event()
@@ -109,18 +214,21 @@ class ParallelIOEngine:
         def drain() -> None:
             while not error_seen.is_set():
                 try:
-                    i, item = pending.get_nowait()
+                    i, item, enqueued = pending.get_nowait()
                 except queue.Empty:
                     return
+                self.stats.task_started(time.perf_counter() - enqueued)
                 try:
                     results[i] = fn(item)
                 except BaseException as exc:  # re-raised by the caller below
                     errors.append(exc)
                     error_seen.set()
                     return
+                finally:
+                    self.stats.task_finished()
 
         helpers = [
-            self._executor.submit(self._marked, drain)
+            self._executor.submit(drain)
             for _ in range(min(self.max_workers, len(work) - 1))
         ]
         drain()  # the caller is one of the streams
@@ -135,7 +243,11 @@ class ParallelIOEngine:
         return results  # type: ignore[return-value]
 
     def map_settle(
-        self, fn: Callable[[T], R], items: Iterable[T]
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        afn: Optional[Callable] = None,
+        dest: Optional[Callable[[T], object]] = None,
     ) -> "list[tuple[Optional[R], Optional[Exception]]]":
         """Apply *fn* to EVERY item concurrently; never fail fast.
 
@@ -147,6 +259,7 @@ class ParallelIOEngine:
         item so the caller can fail over or record it.  Non-``Exception``
         escapes (``KeyboardInterrupt``) still propagate via ``map``.
         """
+        del afn, dest  # surface parity with the async scheduler
 
         def settle(item: T) -> "tuple[Optional[R], Optional[Exception]]":
             try:
@@ -157,7 +270,11 @@ class ParallelIOEngine:
         return self.map(settle, items)
 
     def submit_each(
-        self, fn: Callable[[T], R], items: Iterable[T]
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        afn: Optional[Callable] = None,
+        dest: Optional[Callable[[T], object]] = None,
     ) -> "list[Future[R]]":
         """Schedule *fn* over *items* as independent pool tasks.
 
@@ -171,8 +288,34 @@ class ParallelIOEngine:
         a still-running transfer can change that state underneath it.
         Never call from a pool thread — use :meth:`map`, which runs
         inline there.
+
+        First-error cancellation: once any task fails, the queued-but-
+        unstarted siblings are cancelled instead of run to completion —
+        "the whole write fails" (§III-D) means no point paying for the
+        rest of a doomed scatter.  Already-running transfers drain
+        (their effects must be observable before rollback).  Cancelled
+        futures raise :class:`concurrent.futures.CancelledError` when
+        settled; the caller's error reporting should prefer the real
+        failure over the cancellations it caused.
         """
-        return [self.submit(fn, item) for item in items]
+        del afn, dest  # surface parity with the async scheduler
+        futures: "list[Future[R]]" = []
+        error_seen = threading.Event()
+
+        def guarded(item: T) -> R:
+            if error_seen.is_set():
+                raise CancelledError("abandoned: a sibling task failed")
+            try:
+                return fn(item)
+            except BaseException:
+                error_seen.set()
+                for future in futures:
+                    future.cancel()  # no-op for running/done siblings
+                raise
+
+        for item in items:
+            futures.append(self.submit(guarded, item))
+        return futures
 
     # -- opportunistic work -------------------------------------------------------
 
@@ -182,7 +325,16 @@ class ParallelIOEngine:
         A nested :meth:`map` issued from inside the task runs inline
         on the pool thread (no self-deadlock).
         """
-        return self._executor.submit(self._marked, fn, *args, **kwargs)
+        submitted = time.perf_counter()
+
+        def run() -> R:
+            self.stats.task_started(time.perf_counter() - submitted)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.stats.task_finished()
+
+        return self._executor.submit(run)
 
     # -- lifecycle ----------------------------------------------------------------
 

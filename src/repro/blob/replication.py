@@ -113,6 +113,8 @@ def repair_leaf(store: LocalBlobStore, node: LeafNode, target: int) -> int:
     store._map_io(
         lambda name: store.providers[name].put(descriptor.block_id, payload),
         new_homes,
+        afn=lambda name: store.providers[name].aput(descriptor.block_id, payload),
+        dest=lambda name: name,
     )
     new_descriptor = BlockDescriptor(
         blob_id=descriptor.blob_id,

@@ -42,10 +42,12 @@ behavior.
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import threading
 import time
 import warnings
+from concurrent.futures import CancelledError as _FuturesCancelled
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
@@ -60,6 +62,7 @@ from repro.blob.block import (
     SyntheticPayload,
     materialize,
 )
+from repro.blob.async_engine import AsyncIOEngine
 from repro.blob.config import DEFAULT_BLOCK_SIZE, StoreConfig
 from repro.blob.data_provider import DataProviderCore
 from repro.blob.io_engine import ParallelIOEngine
@@ -99,6 +102,21 @@ __all__ = [
     "VmanStats",
     "DEFAULT_BLOCK_SIZE",
 ]
+
+#: Both cancellation flavors a settled scatter future can raise: the
+#: thread backend's queued-task abandonment raises the
+#: ``concurrent.futures`` class, a cancelled coroutine escaping via its
+#: concurrent future raises the ``asyncio`` one — distinct classes
+#: (the asyncio flavor is a BaseException), handled together.
+_CANCELLED = (_FuturesCancelled, asyncio.CancelledError)
+
+#: Per-destination concurrency cap handed to the async scheduler: at
+#: most this many in-flight transfers aimed at any single provider or
+#: metadata bucket.  A real provider serves a bounded number of streams
+#: well; without the cap a hot provider collects the whole in-flight
+#: window as a convoy while the rest of the cluster idles (DESIGN.md
+#: §13).
+_ASYNC_PER_DEST = 64
 
 
 @dataclass(frozen=True)
@@ -425,12 +443,21 @@ class LocalBlobStore:
             self.providers[name] = DataProviderCore(
                 name, latency=config.provider_latency, copy_stats=self.copy_stats
             )
-        #: Shared scatter-gather pool; ``None`` means inline (serial) I/O.
-        #: Created before the metadata service so the DHT can fan one
-        #: batched round's per-bucket requests over the same pool.
-        self.io_engine: Optional[ParallelIOEngine] = (
-            ParallelIOEngine(config.io_workers) if config.io_workers > 0 else None
-        )
+        #: Shared scatter-gather engine; ``None`` means inline (serial)
+        #: I/O.  Created before the metadata service so the DHT can fan
+        #: one batched round's per-bucket requests over the same engine.
+        #: ``io_scheduler="async"`` selects the single-event-loop
+        #: coroutine scheduler (DESIGN.md §13); ``"threads"`` keeps the
+        #: bounded pool, sized by ``io_workers``.
+        self.io_engine: Optional[Union[ParallelIOEngine, AsyncIOEngine]] = None
+        if config.io_scheduler == "async":
+            self.io_engine = AsyncIOEngine(
+                max_in_flight=config.max_in_flight,
+                per_dest=_ASYNC_PER_DEST,
+                helpers=config.io_workers or 2,
+            )
+        elif config.io_workers > 0:
+            self.io_engine = ParallelIOEngine(config.io_workers)
         self.metadata = MetadataService(
             DhtStore(
                 config.metadata_bucket_names(),
@@ -506,10 +533,16 @@ class LocalBlobStore:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _map_io(self, fn, items):
-        """Run data-plane work via the engine, or inline when absent."""
+    def _map_io(self, fn, items, afn=None, dest=None):
+        """Run data-plane work via the engine, or inline when absent.
+
+        ``afn``/``dest`` are the coroutine twin and per-item destination
+        key forwarded to the engine (the async scheduler awaits the twin
+        and caps per-destination concurrency; the thread pool ignores
+        both and runs the blocking *fn*).
+        """
         if self.io_engine is not None:
-            return self.io_engine.map(fn, items)
+            return self.io_engine.map(fn, items, afn=afn, dest=dest)
         return [fn(item) for item in items]
 
     def _vman_call(self, fn, **counters):
@@ -710,12 +743,15 @@ class LocalBlobStore:
     ):
         """The (block, replica) transfer plan shared by both scatters.
 
-        Returns the transfer task list and the closure executing one
-        task, which records each landed replica into *stored* (under
-        its own lock) so the caller can roll back whatever made it.
-        One constructor for the inline and the overlapped scatter: the
-        two paths can never disagree on block-id layout or rollback
-        bookkeeping.
+        Returns the transfer task list and the sync/async closure pair
+        executing one task; both record each landed replica into
+        *stored* (under its own lock) so the caller can roll back
+        whatever made it.  One constructor for the inline and the
+        overlapped scatter: the paths can never disagree on block-id
+        layout or rollback bookkeeping.  The async twin awaits the
+        provider's coroutine entry point, so a cancellation (a sibling
+        transfer failed first) lands at its latency await — before the
+        provider's state or ``stored`` changed — never as a torn entry.
         """
         transfers = [
             (provider_name, (blob_id, nonce, seq), payload)
@@ -730,7 +766,13 @@ class LocalBlobStore:
             with stored_lock:
                 stored.append((provider_name, block_id))
 
-        return transfers, transfer
+        async def atransfer(task) -> None:
+            provider_name, block_id, payload = task
+            await self.providers[provider_name].aput(block_id, payload)
+            with stored_lock:
+                stored.append((provider_name, block_id))
+
+        return transfers, transfer, atransfer
 
     def _begin_scatter(
         self,
@@ -747,11 +789,13 @@ class LocalBlobStore:
         committing — ``stored`` keeps growing until every future is
         done.
         """
-        transfers, transfer = self._scatter_tasks(
+        transfers, transfer, atransfer = self._scatter_tasks(
             blob_id, nonce, payloads, placements, stored
         )
         assert self.io_engine is not None
-        return self.io_engine.submit_each(transfer, transfers)
+        return self.io_engine.submit_each(
+            transfer, transfers, afn=atransfer, dest=lambda task: task[0]
+        )
 
     @staticmethod
     def _settle_scatter(futures) -> Optional[BaseException]:
@@ -759,16 +803,23 @@ class LocalBlobStore:
 
         Never fails fast: ``stored`` is only complete — and therefore
         safe to roll back or publish — once every transfer has either
-        landed or died.
+        landed or died.  The engines cancel queued siblings once one
+        transfer fails, so the *real* failure is preferred over the
+        cancellations it caused — the caller's error reporting must
+        name the dead provider, not the abandonment.
         """
         error: Optional[BaseException] = None
+        cancelled: Optional[BaseException] = None
         for future in futures:
             try:
                 future.result()
+            except _CANCELLED as exc:
+                if cancelled is None:
+                    cancelled = exc
             except BaseException as exc:
                 if error is None:
                     error = exc
-        return error
+        return error if error is not None else cancelled
 
     def _store_blocks(
         self,
@@ -789,11 +840,13 @@ class LocalBlobStore:
         roll back if a *later* protocol step rejects the write.
         """
         stored: list[tuple[str, tuple[str, int, int]]] = []
-        transfers, transfer = self._scatter_tasks(
+        transfers, transfer, atransfer = self._scatter_tasks(
             blob_id, nonce, payloads, placements, stored
         )
         try:
-            self._map_io(transfer, transfers)
+            self._map_io(
+                transfer, transfers, afn=atransfer, dest=lambda task: task[0]
+            )
         except BaseException:
             # BaseException: a KeyboardInterrupt mid-scatter must also
             # leave no orphaned replicas or phantom allocator charges.
@@ -1054,14 +1107,8 @@ class LocalBlobStore:
         windows = dest_windows(buffer, offset, size, info.block_size)
         tasks = list(zip(windows, descriptors))
 
-        def gather(task: tuple) -> Optional[Payload]:
+        def finish(task: tuple, payload: Payload) -> Optional[Payload]:
             (slice_, window), descriptor = task
-            if descriptor.is_zero:
-                # Tombstone filler (DESIGN.md §7): the range reads as
-                # zeros, which the preallocated buffer already holds —
-                # no provider fetch, no copy.
-                return None
-            payload = self._fetch_block(descriptor)
             want_end = slice_.start + slice_.length
             if want_end > payload.size:
                 raise InvalidRange(
@@ -1074,7 +1121,28 @@ class LocalBlobStore:
             self.copy_stats.record("read.gather", copied=copied, transferred=copied)
             return None
 
-        leftovers = self._map_io(gather, tasks)
+        def gather(task: tuple) -> Optional[Payload]:
+            _, descriptor = task
+            if descriptor.is_zero:
+                # Tombstone filler (DESIGN.md §7): the range reads as
+                # zeros, which the preallocated buffer already holds —
+                # no provider fetch, no copy.
+                return None
+            return finish(task, self._fetch_block(descriptor))
+
+        async def agather(task: tuple) -> Optional[Payload]:
+            _, descriptor = task
+            if descriptor.is_zero:
+                return None
+            # Only the provider fetch awaits; the readinto fill into the
+            # task's disjoint window is sync and cheap, so even 10k of
+            # these interleave on the one loop without starving it.
+            return finish(task, await self._afetch_block(descriptor))
+
+        # No dest= cap on the gather: failover makes the destination
+        # dynamic (the replica actually serving a block is decided
+        # inside the fetch, not by the task).
+        leftovers = self._map_io(gather, tasks, afn=agather)
         if any(part is not None for part in leftovers):
             # Some blocks were synthetic stand-ins carrying no bytes
             # (benchmark writes): the assembled range is synthetic too,
@@ -1132,6 +1200,28 @@ class LocalBlobStore:
                 # the ``online`` check above and the fetch — fall
                 # through to the next replica instead of aborting a
                 # read that still has live copies.
+                last_error = exc
+        raise ProviderUnavailable(
+            f"no live replica of block {descriptor.block_id} "
+            f"(providers {descriptor.providers})"
+        ) from last_error
+
+    async def _afetch_block(self, descriptor: AnyBlockDescriptor) -> Payload:
+        """Coroutine twin of :meth:`_fetch_block`: identical replica
+        failover chain, but each attempt awaits the provider's
+        ``aget`` so a slow replica parks this coroutine instead of an
+        OS thread."""
+        if descriptor.is_zero:
+            return BytesPayload(bytes(descriptor.size))
+        last_error: Optional[Exception] = None
+        for provider_name in descriptor.providers:
+            provider = self.providers[provider_name]
+            if not provider.online:
+                last_error = ProviderUnavailable(f"{provider_name} is down")
+                continue
+            try:
+                return await provider.aget(descriptor.block_id)
+            except (KeyError, ProviderUnavailable) as exc:
                 last_error = exc
         raise ProviderUnavailable(
             f"no live replica of block {descriptor.block_id} "

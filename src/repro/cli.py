@@ -32,6 +32,11 @@ Demonstrate the multi-tenant gateway (DESIGN.md §12)::
     repro gateway              # N tenants, one greedy; fairness table
     repro gateway --tenants 8 --clients 64 --greedy-kbps 128
 
+Demonstrate the async I/O scheduler (DESIGN.md §13)::
+
+    repro asyncio              # threads vs coroutines on one big gather
+    repro asyncio --blocks 8192 --latency 0.003
+
 ``python -m repro.cli ...`` works identically.
 """
 
@@ -211,6 +216,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=16, help="OS threads multiplexing clients"
     )
     gateway.add_argument("--seed", type=int, default=0, help="store RNG seed")
+
+    aio = sub.add_parser(
+        "asyncio",
+        help=(
+            "async-scheduler demo: one latency-bound gather of thousands "
+            "of blocks, thread pool vs coroutine engine; prints both "
+            "backends' throughput and EngineStats and fails if the "
+            "coroutine run grew more than a handful of OS threads"
+        ),
+    )
+    aio.add_argument(
+        "--blocks", type=int, default=4096, help="blocks in the gathered read"
+    )
+    aio.add_argument(
+        "--block-size", type=str, default="2k", help="block size (e.g. 2k, 64k)"
+    )
+    aio.add_argument(
+        "--latency",
+        type=float,
+        default=0.002,
+        help="simulated provider service time per block op, seconds",
+    )
+    aio.add_argument(
+        "--providers", type=int, default=16, help="data providers striped over"
+    )
+    aio.add_argument(
+        "--io-workers", type=int, default=8, help="threads-backend pool size"
+    )
+    aio.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=8192,
+        help="async backend's in-flight coroutine window",
+    )
     return parser
 
 
@@ -838,6 +877,109 @@ def _run_gateway_demo(args) -> int:
     return 0
 
 
+#: The async backend's whole point: a handful of OS threads no matter
+#: how many transfers are in flight.  The demo fails past this.
+_ASYNC_THREAD_BUDGET = 8
+
+
+def _run_asyncio_demo(args) -> int:
+    """One latency-bound gather, thread pool vs coroutine scheduler.
+
+    Exercises the async I/O engine end-to-end (DESIGN.md §13): the same
+    whole-file read of thousands of simulated-latency block fetches runs
+    once on the ``io_workers`` thread pool and once on the coroutine
+    scheduler, and the :class:`~repro.blob.io_engine.EngineStats`
+    counters tell the story — the pool's concurrency IS its thread
+    count, while the event loop holds thousands of transfers in flight
+    on one thread.  The demo fails if the coroutine run grew more OS
+    threads than ``_ASYNC_THREAD_BUDGET``.
+    """
+    from repro.blob import LocalBlobStore, StoreConfig
+    from repro.util.bytesize import parse_size
+
+    bs = parse_size(args.block_size)
+    nblocks = max(args.blocks, 2)
+    size = nblocks * bs
+
+    def measure(label: str, **engine):
+        store = LocalBlobStore(config=StoreConfig(
+            data_providers=args.providers,
+            metadata_providers=4,
+            block_size=bs,
+            provider_latency=args.latency,
+            **engine,
+        ))
+        try:
+            blob = store.create()
+            data = b"s" * size
+            store.append(blob, data)
+            version = store.latest_version(blob)
+            store.io_engine.stats.reset()
+            start = time.perf_counter()
+            ok = store.read(blob, version=version) == data
+            elapsed = time.perf_counter() - start
+            stats = store.io_engine.stats.snapshot()
+        finally:
+            store.close()
+        return {
+            "label": label,
+            "ok": ok,
+            "wall_s": elapsed,
+            "mb_per_s": size / elapsed / 2**20,
+            "stats": stats,
+        }
+
+    print(
+        f"gather of {nblocks} x {bs:,}B blocks over {args.providers} "
+        f"providers at {args.latency * 1e3:.1f}ms/op:"
+    )
+    runs = [
+        measure(
+            f"threads (io_workers={args.io_workers})", io_workers=args.io_workers
+        ),
+        measure(
+            f"async (max_in_flight={args.max_in_flight})",
+            io_scheduler="async",
+            max_in_flight=args.max_in_flight,
+        ),
+    ]
+    header = (
+        f"  {'backend':<28} {'wall':>8} {'MB/s':>9} {'threads':>8} "
+        f"{'in-flight hwm':>14} {'queue wait':>11}"
+    )
+    print(header)
+    for run in runs:
+        stats = run["stats"]
+        print(
+            f"  {run['label']:<28} {run['wall_s']:>7.2f}s {run['mb_per_s']:>9.2f} "
+            f"{stats['threads_started']:>8} {stats['in_flight_hwm']:>14} "
+            f"{stats['queue_wait_total']:>10.3f}s"
+        )
+
+    threads_run, async_run = runs
+    failures = []
+    for run in runs:
+        if not run["ok"]:
+            failures.append(f"{run['label']} returned corrupted bytes")
+    async_threads = async_run["stats"]["threads_started"]
+    if async_threads > _ASYNC_THREAD_BUDGET:
+        failures.append(
+            f"async backend grew {async_threads} OS threads "
+            f"(budget {_ASYNC_THREAD_BUDGET}) — that is a thread pool "
+            "wearing a coroutine costume"
+        )
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: {async_run['stats']['in_flight_hwm']} transfers in flight "
+        f"on {async_threads} OS thread(s) "
+        f"({async_run['mb_per_s'] / threads_run['mb_per_s']:.1f}x the "
+        f"{args.io_workers}-worker pool's throughput)"
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -861,6 +1003,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "gateway":
         return _run_gateway_demo(args)
+
+    if args.command == "asyncio":
+        return _run_asyncio_demo(args)
 
     scale = FULL if args.full else QUICK
     which = sorted(ALL_FIGURES) if args.which == "all" else [args.which]

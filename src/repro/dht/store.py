@@ -25,6 +25,7 @@ metadata cost of a batched descent.
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import threading
 import time
@@ -138,9 +139,13 @@ class Bucket:
         self.online = True
         self.latency = latency
         self._items: dict[Hashable, object] = {}
+        # Set (thread-locally) while an async entry point runs its sync
+        # twin, so the twin's blocking sleep does not fire a second time
+        # (the coroutine already awaited it) — see DataProviderCore.
+        self._defer_delay = threading.local()
 
     def _service_delay(self) -> None:
-        if self.latency:
+        if self.latency and not getattr(self._defer_delay, "active", False):
             time.sleep(self.latency)
 
     def _check_online(self) -> None:
@@ -213,6 +218,39 @@ class Bucket:
                 stored.append(key)
         return conflicts, stored
 
+    async def aget_many(self, keys: Sequence[Hashable]) -> dict[Hashable, object]:
+        """Coroutine twin of :meth:`get_many` for the async I/O engine:
+        the batch's one service delay becomes ``asyncio.sleep``, then
+        the sync method runs with its blocking sleep suppressed (one
+        code path — monkeypatched ``get_many`` intercepts both)."""
+        self._check_online()
+        if self.latency:
+            await asyncio.sleep(self.latency)
+        self._defer_delay.active = True
+        try:
+            return self.get_many(keys)  # asynclint: allow delegation, delay deferred
+        finally:
+            self._defer_delay.active = False
+
+    async def aput_many(
+        self,
+        items: Sequence[tuple[Hashable, object]],
+        conditional: bool = False,
+    ) -> tuple[dict[Hashable, object], list[Hashable]]:
+        """Coroutine twin of :meth:`put_many` (same delegation contract
+        as :meth:`aget_many`; the delegated section has no await, so the
+        conditional check-and-put stays atomic on the event loop)."""
+        self._check_online()
+        if self.latency:
+            await asyncio.sleep(self.latency)
+        self._defer_delay.active = True
+        try:
+            return self.put_many(  # asynclint: allow delegation, delay deferred
+                items, conditional=conditional
+            )
+        finally:
+            self._defer_delay.active = False
+
     def peek_many(self, keys: Sequence[Hashable]) -> dict[Hashable, object]:
         """Batched :meth:`peek`: present keys only, no online gate."""
         items = self._items
@@ -263,10 +301,12 @@ class DhtStore:
         latency: simulated per-request service time on every bucket
             (see :class:`Bucket`); makes batching observable in
             wall-clock benchmarks.
-        engine: optional :class:`~repro.blob.io_engine.ParallelIOEngine`
-            used to fan one batched round's per-bucket requests out in
-            parallel.  ``None`` runs them inline (still one *logical*
-            round trip; the accounting is identical).
+        engine: optional I/O engine (the store's
+            :class:`~repro.blob.io_engine.ParallelIOEngine` or
+            :class:`~repro.blob.async_engine.AsyncIOEngine`) used to fan
+            one batched round's per-bucket requests out in parallel.
+            ``None`` runs them inline (still one *logical* round trip;
+            the accounting is identical).
     """
 
     def __init__(
@@ -292,13 +332,21 @@ class DhtStore:
         return self.ring.replicas(key, self.replication)
 
     def _settle(
-        self, fn: Callable, groups: Sequence
+        self,
+        fn: Callable,
+        groups: Sequence,
+        afn: Optional[Callable] = None,
+        dest: Optional[Callable] = None,
     ) -> list[tuple[object, Optional[Exception]]]:
         """Run one batched round's per-bucket requests, in parallel when
         an engine is attached, capturing per-bucket failures so one dead
-        bucket can never abort the other buckets' work."""
+        bucket can never abort the other buckets' work.  ``afn`` is the
+        coroutine twin of *fn* and ``dest`` the per-group bucket key —
+        forwarded to the engine so the async scheduler can interleave
+        the bucket latencies and cap per-bucket concurrency; the thread
+        engine ignores both."""
         if self.engine is not None and len(groups) > 1:
-            return self.engine.map_settle(fn, groups)
+            return self.engine.map_settle(fn, groups, afn=afn, dest=dest)
         results = []
         for group in groups:
             try:
@@ -404,9 +452,14 @@ class DhtStore:
                 name, bucket_keys = group
                 return self.buckets[name].get_many(bucket_keys)
 
+            def afetch(group):
+                name, bucket_keys = group
+                return self.buckets[name].aget_many(bucket_keys)
+
             retry: list[Hashable] = []
             for (name, bucket_keys), (found, error) in zip(
-                groups, self._settle(fetch, groups)
+                groups,
+                self._settle(fetch, groups, afn=afetch, dest=lambda g: g[0]),
             ):
                 if error is not None:
                     if isinstance(error, ProviderUnavailable):
@@ -470,11 +523,15 @@ class DhtStore:
             name, kvs = group
             return self.buckets[name].put_many(kvs, conditional=conditional)
 
+        def aput(group):
+            name, kvs = group
+            return self.buckets[name].aput_many(kvs, conditional=conditional)
+
         touched: dict[Hashable, int] = {key: 0 for key, _ in pairs}
         conflicts: dict[Hashable, object] = {}
         stored_by_bucket: dict[str, list[Hashable]] = {}
         for (name, kvs), (outcome, error) in zip(
-            groups, self._settle(put, groups)
+            groups, self._settle(put, groups, afn=aput, dest=lambda g: g[0])
         ):
             if error is not None:
                 if isinstance(error, ProviderUnavailable):

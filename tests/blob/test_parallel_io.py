@@ -9,6 +9,7 @@ provider fails and recovers under them.
 
 import threading
 import time
+from concurrent.futures import CancelledError
 
 import pytest
 
@@ -90,6 +91,42 @@ class TestParallelIOEngine:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError):
             ParallelIOEngine(0)
+
+    def test_submit_each_cancels_unstarted_work_after_first_error(self):
+        # The publish-overlap primitive: once one transfer fails, the
+        # queued-but-unstarted siblings must be cancelled — "the whole
+        # write fails" means not paying for the rest of a doomed
+        # scatter.  With a 1-thread pool the tasks run strictly in
+        # order, so exactly the first (failing) task executes.
+        executed = []
+
+        def job(i):
+            executed.append(i)
+            time.sleep(0.01)  # let every sibling reach the queue
+            raise ProviderUnavailable("scatter target died")
+
+        with ParallelIOEngine(1) as engine:
+            futures = engine.submit_each(job, range(8))
+            with pytest.raises(ProviderUnavailable):
+                futures[0].result()
+            for future in futures[1:]:
+                with pytest.raises(CancelledError):
+                    future.result()
+        assert executed == [0]
+
+    def test_submit_each_runs_everything_on_success(self):
+        with ParallelIOEngine(2) as engine:
+            futures = engine.submit_each(lambda i: i * 2, range(8))
+            assert [f.result() for f in futures] == [i * 2 for i in range(8)]
+
+    def test_submit_each_stats_balance(self):
+        with ParallelIOEngine(2) as engine:
+            for future in engine.submit_each(lambda i: i, range(6)):
+                future.result()
+            snap = engine.stats.snapshot()
+        assert snap["tasks_started"] == snap["tasks_finished"] == 6
+        assert snap["in_flight"] == 0
+        assert snap["threads_started"] <= 2
 
 
 @pytest.mark.parametrize("io_workers", [0, 4])

@@ -26,7 +26,7 @@ from repro.blob import (
 )
 from repro.dht.store import MISSING
 from repro.errors import ProviderUnavailable, ReplicationError, VersionNotFound
-from tests.blob.test_write_rollback import make_chaos_store
+from tests.blob.test_write_rollback import engine_kwargs, make_chaos_store
 
 BS = 16
 
@@ -108,8 +108,11 @@ class TestMetadataReconciliation:
             assert buckets[victim].digest(shared) == buckets[other].digest(shared)
         store.close()
 
-    def test_offline_bucket_is_skipped_not_an_error(self):
-        store = make_store(metadata_providers=4, metadata_replication=2)
+    @pytest.mark.parametrize("io_mode", (0, 4, "async"))
+    def test_offline_bucket_is_skipped_not_an_error(self, io_mode):
+        store = make_store(
+            metadata_providers=4, metadata_replication=2, **engine_kwargs(io_mode)
+        )
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))
         victim = sorted(store.metadata.store.buckets)[0]
@@ -120,10 +123,13 @@ class TestMetadataReconciliation:
         assert report.errors == ()
         store.close()
 
-    def test_bucket_dying_mid_pass_is_recorded_not_raised(self):
+    @pytest.mark.parametrize("io_mode", (0, 4, "async"))
+    def test_bucket_dying_mid_pass_is_recorded_not_raised(self, io_mode):
         """A bucket failing between the pass's enumeration and its heal
         write must not abort the sweep (the GC's mid-sweep rule)."""
-        store = make_store(metadata_providers=6, metadata_replication=2)
+        store = make_store(
+            metadata_providers=6, metadata_replication=2, **engine_kwargs(io_mode)
+        )
         blob = store.create()
         victim = sorted(store.metadata.store.buckets)[0]
         store.metadata.store.fail_bucket(victim)
@@ -377,11 +383,12 @@ class TestMaintenanceDaemon:
             time.sleep(0.01)
         return False
 
-    def test_chaos_bucket_dies_mid_write_daemon_heals_after_recovery(self):
+    @pytest.mark.parametrize("io_mode", (0, 4, "async"))
+    def test_chaos_bucket_dies_mid_write_daemon_heals_after_recovery(self, io_mode):
         """The acceptance scenario, end to end, with a REAL bucket
         failure (no monkeypatching) and the background daemon doing the
         healing — no manual republish_tombstone anywhere."""
-        store, blob, victim = make_chaos_store()
+        store, blob, victim = make_chaos_store(io_mode)
         store.append(blob, b"a" * (4 * BS))  # v1
         store.metadata.store.fail_bucket(victim)
         with pytest.raises((ReplicationError, ProviderUnavailable)):

@@ -27,6 +27,8 @@ NON_DEFAULTS = dict(
     placement="least_loaded",
     seed=7,
     io_workers=2,
+    io_scheduler="async",
+    max_in_flight=256,
     provider_latency=0.001,
     metadata_latency=0.002,
     metadata_cache_nodes=64,
@@ -39,7 +41,7 @@ NON_DEFAULTS = dict(
 
 
 class TestStoreConfig:
-    def test_field_set_matches_the_sixteen_legacy_keywords(self):
+    def test_field_set_matches_the_constructor_keywords(self):
         assert set(StoreConfig.__dataclass_fields__) == set(NON_DEFAULTS)
 
     def test_defaults_validate(self):
@@ -135,6 +137,8 @@ class TestValidation:
             (dict(metadata_providers=1, metadata_replication=2), "exceeds the 1"),
             (dict(placement="zigzag"), "unknown placement"),
             (dict(io_workers=-1), "io_workers"),
+            (dict(io_scheduler="fibers"), "io_scheduler"),
+            (dict(max_in_flight=0), "max_in_flight"),
             (dict(provider_latency=-0.1), "provider_latency"),
             (dict(metadata_latency=-0.1), "metadata_latency"),
             (dict(vman_latency=-0.1), "vman_latency"),
@@ -157,3 +161,24 @@ class TestValidation:
         assert config.validate() is config
         store = LocalBlobStore(config=config)
         store.close()
+
+    def test_async_scheduler_satisfies_the_overlap_requirement(self):
+        # The overlap launches its scatter on the engine; the async
+        # scheduler IS an engine even with io_workers=0.
+        config = StoreConfig(
+            overlap_publish=True, io_workers=0, io_scheduler="async"
+        )
+        assert config.validate() is config
+
+    def test_async_scheduler_selects_the_async_engine(self):
+        from repro.blob import AsyncIOEngine, ParallelIOEngine
+
+        with LocalBlobStore(
+            config=StoreConfig(io_scheduler="async", max_in_flight=32)
+        ) as store:
+            assert isinstance(store.io_engine, AsyncIOEngine)
+            assert store.io_engine.max_in_flight == 32
+        with LocalBlobStore(config=StoreConfig(io_workers=2)) as store:
+            assert isinstance(store.io_engine, ParallelIOEngine)
+        with LocalBlobStore(config=StoreConfig()) as store:
+            assert store.io_engine is None

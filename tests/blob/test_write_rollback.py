@@ -30,6 +30,23 @@ from repro.errors import (
 
 BS = 16
 
+#: Engine modes every rollback/abort invariant must hold under:
+#: inline I/O, the thread pool, and the async coroutine scheduler
+#: (DESIGN.md §13 — the async backend inherits every §7 guarantee).
+IO_MODES = (0, 4, "async")
+
+
+def engine_kwargs(io_mode):
+    """StoreConfig kwargs for one engine mode.
+
+    Modes 0/4 are the historical ``io_workers`` values; ``"async"``
+    selects the coroutine scheduler (truthy, so tests that skip the
+    non-inline modes for deterministic interleaving skip it too).
+    """
+    if io_mode == "async":
+        return {"io_scheduler": "async", "io_workers": 2, "max_in_flight": 64}
+    return {"io_workers": io_mode}
+
 
 def snapshot_provider_state(store):
     return {
@@ -37,7 +54,7 @@ def snapshot_provider_state(store):
     }
 
 
-@pytest.mark.parametrize("io_workers", [0, 4])
+@pytest.mark.parametrize("io_workers", IO_MODES)
 class TestFailedWriteRollback:
     def test_issue_repro_two_providers_one_fails_no_orphan(self, io_workers):
         # The ISSUE repro: 2 providers, replication=2, one provider dies
@@ -49,7 +66,7 @@ class TestFailedWriteRollback:
             metadata_providers=2,
             block_size=BS,
             replication=2,
-            io_workers=io_workers,
+            **engine_kwargs(io_workers),
         ))
         blob = store.create()
         pre_providers = snapshot_provider_state(store)
@@ -69,7 +86,7 @@ class TestFailedWriteRollback:
             metadata_providers=2,
             block_size=BS,
             replication=2,
-            io_workers=io_workers,
+            **engine_kwargs(io_workers),
         ))
         blob = store.create()
         store.append(blob, b"a" * (6 * BS))  # some healthy baseline data
@@ -95,7 +112,7 @@ class TestFailedWriteRollback:
             block_size=BS,
             replication=1,
             placement="least_loaded",
-            io_workers=io_workers,
+            **engine_kwargs(io_workers),
         ))
         blob = store.create()
         store.providers["provider-000"].fail()
@@ -165,7 +182,7 @@ class TestFailedWriteRollback:
         # range in Phase 2.  A rejected write (unaligned append,
         # misaligned offset, hole) must clean up its Phase-1 blocks.
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
         store.write(blob, 0, b"\0" * (BS + 3))  # unaligned size: appends now invalid
@@ -190,7 +207,7 @@ class TestFailedWriteRollback:
             metadata_providers=2,
             block_size=BS,
             replication=2,
-            io_workers=io_workers,
+            **engine_kwargs(io_workers),
         ))
         blob = store.create()
         store.append(blob, b"\0" * BS)
@@ -279,7 +296,7 @@ class TestFailedWriteRollback:
             metadata_providers=2,
             block_size=BS,
             replication=2,
-            io_workers=io_workers,
+            **engine_kwargs(io_workers),
         ))
         blob = store.create()
         store.providers["provider-001"].fail()
@@ -312,14 +329,14 @@ def fail_publish_for_version(store, version):
     return lambda: setattr(store.metadata, "put_patch", real)
 
 
-@pytest.mark.parametrize("io_workers", [0, 4])
+@pytest.mark.parametrize("io_workers", IO_MODES)
 class TestWriteAbortTombstone:
     """A writer dying after version assignment (§VI-B's admitted
     weakness) aborts into a tombstone instead of wedging the store."""
 
     def test_publish_failure_aborts_cleanly(self, io_workers):
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
         store.append(blob, b"a" * (4 * BS))  # v1: healthy baseline
@@ -348,7 +365,7 @@ class TestWriteAbortTombstone:
 
     def test_write_and_gc_succeed_after_abort(self, io_workers):
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
         store.append(blob, b"a" * (4 * BS))
@@ -377,7 +394,7 @@ class TestWriteAbortTombstone:
         """Redirect leaves: an aborted overwrite's tombstone resolves to
         the woven state without the dead write."""
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
         store.write(blob, 0, b"a" * (4 * BS))  # v1
@@ -445,7 +462,7 @@ class TestWriteAbortTombstone:
         """A raising publication hook is a reporting problem, not a
         write failure: the snapshot committed and must stand."""
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
 
@@ -468,7 +485,7 @@ class TestWriteAbortTombstone:
         shield Exception) must not route the published snapshot into
         the abort path — its blocks belong to readers now."""
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
 
@@ -487,7 +504,7 @@ class TestWriteAbortTombstone:
         """republish_tombstone against a healthy in-flight write must
         not force-overwrite its metadata with filler."""
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
         store.append(blob, b"a" * BS)
@@ -502,7 +519,7 @@ class TestWriteAbortTombstone:
         keys (which is where readers resolve), not mint unreachable
         nodes under the branch's id."""
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=2, block_size=BS, io_workers=io_workers
+            data_providers=4, metadata_providers=2, block_size=BS, **engine_kwargs(io_workers)
         ))
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))  # v1
@@ -543,7 +560,7 @@ class TestWriteAbortTombstone:
             metadata_providers=2,
             block_size=BS,
             replication=2,
-            io_workers=io_workers,
+            **engine_kwargs(io_workers),
         ))
         blob = store.create()
         store.append(blob, b"a" * (2 * BS))
@@ -571,7 +588,7 @@ def _patch_keys(blob, version, start, end, size_after, prior_size, history):
     return {node.key for node in nodes}
 
 
-def make_chaos_store():
+def make_chaos_store(engine_mode=0):
     """A store plus a victim metadata bucket whose permanent death dooms
     exactly one in-flight write.
 
@@ -589,7 +606,10 @@ def make_chaos_store():
     h2 = ((1, 0, 4), (2, 4, 6))
     for n_buckets in (8, 16, 24, 32, 48, 64, 96):
         store = LocalBlobStore(config=StoreConfig(
-            data_providers=4, metadata_providers=n_buckets, block_size=BS
+            data_providers=4,
+            metadata_providers=n_buckets,
+            block_size=BS,
+            **engine_kwargs(engine_mode),
         ))
         blob = store.create("chaos")
         v1_keys = _patch_keys(blob, 1, 0, 4, 4 * BS, 0, ())
@@ -617,12 +637,13 @@ def make_chaos_store():
     raise AssertionError("no bucket layout isolates the doomed write's keys")
 
 
+@pytest.mark.parametrize("io_workers", IO_MODES)
 class TestChaosMetadataBucketDown:
     """Acceptance scenario: every replica of a metadata bucket dies
     permanently mid-write.  No monkeypatching — a real bucket fails."""
 
-    def test_abort_is_clean_and_store_stays_live(self):
-        store, blob, victim = make_chaos_store()
+    def test_abort_is_clean_and_store_stays_live(self, io_workers):
+        store, blob, victim = make_chaos_store(io_workers)
         store.append(blob, b"a" * (4 * BS))  # v1
         pre_providers = snapshot_provider_state(store)
         pre_allocator = store.provider_manager.block_counts()
@@ -654,8 +675,8 @@ class TestChaosMetadataBucketDown:
         assert store.read(blob) == b"a" * (4 * BS) + bytes(2 * BS) + b"y" * (2 * BS)
         store.close()
 
-    def test_republish_tombstone_after_bucket_recovery(self):
-        store, blob, victim = make_chaos_store()
+    def test_republish_tombstone_after_bucket_recovery(self, io_workers):
+        store, blob, victim = make_chaos_store(io_workers)
         store.append(blob, b"a" * (4 * BS))
         store.metadata.store.fail_bucket(victim)
         with pytest.raises((ReplicationError, ProviderUnavailable)):

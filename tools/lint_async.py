@@ -1,0 +1,134 @@
+"""Async-path lint: forbid blocking calls inside coroutines.
+
+The async I/O scheduler (DESIGN.md §13) runs every in-flight block
+transfer as a coroutine on ONE event loop, so a single blocking call
+inside an ``async def`` parks the whole store, not one transfer — and
+it does so silently: the tests still pass, only the in-flight window
+collapses to 1.  This lint walks every coroutine under ``src/repro/``
+with the ``ast`` module and fails on the calls that block the loop::
+
+    python tools/lint_async.py
+
+Forbidden inside an ``async def`` (sync nested ``def``/``lambda``
+bodies are fine — they run off-loop or are the sanctioned inline
+segment):
+
+* ``time.sleep(...)`` — latency must be ``await asyncio.sleep``;
+* the sync DHT fan-outs ``get_many``/``put_many``/``peek_many`` —
+  coroutines await the ``a``-prefixed twins;
+* ``_service_delay(...)`` — the async twins defer the simulated
+  latency, they never sleep it synchronously;
+* ``.result(...)`` — a blocking future wait deadlocks the loop that
+  is supposed to complete it.
+
+The sanctioned exception is the delegation pattern itself (an async
+twin that has already awaited the latency and calls its own sync body
+under ``_defer_delay``): mark such a line ``# asynclint: allow`` with
+a reason.  Comment and docstring occurrences never trip the lint —
+this is an AST walk, not a grep.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCOPE = REPO / "src" / "repro"
+ALLOW_MARKER = "# asynclint: allow"
+
+#: Method names that park the whole event loop when called from a
+#: coroutine, with the await-able replacement the message points at.
+BLOCKING_METHODS = {
+    "get_many": "sync DHT fan-out blocks the loop (await aget_many)",
+    "put_many": "sync DHT fan-out blocks the loop (await aput_many)",
+    "peek_many": "sync DHT fan-out blocks the loop (await the async twin)",
+    "_service_delay": "sync latency sleep blocks the loop (the async "
+    "twin awaits asyncio.sleep and defers the sync one)",
+    "result": "blocking future wait deadlocks the loop completing it",
+}
+
+
+def _diagnose(node: ast.Call) -> str | None:
+    """The violation message for *node*, or None if it is clean."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if (
+        func.attr == "sleep"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return "time.sleep blocks the loop (use await asyncio.sleep)"
+    return BLOCKING_METHODS.get(func.attr)
+
+
+class _CoroutineCalls(ast.NodeVisitor):
+    """Collects blocking calls whose nearest enclosing function is async."""
+
+    def __init__(self) -> None:
+        self.stack: list[bool] = []  # True = async frame
+        self.hits: list[tuple[int, str, str]] = []  # (lineno, label, attr)
+
+    def _visit_frame(self, node: ast.AST, is_async: bool) -> None:
+        self.stack.append(is_async)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_frame(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_frame(node, is_async=True)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_frame(node, is_async=False)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.stack and self.stack[-1]:
+            label = _diagnose(node)
+            if label is not None:
+                self.hits.append((node.lineno, label, ast.unparse(node.func)))
+        self.generic_visit(node)
+
+
+def lint(root: Path = SCOPE) -> list[str]:
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        source = path.read_text()
+        lines = source.splitlines()
+        finder = _CoroutineCalls()
+        finder.visit(ast.parse(source, filename=str(path)))
+        shown = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        for lineno, label, call in finder.hits:
+            if ALLOW_MARKER in lines[lineno - 1]:
+                continue
+            violations.append(
+                f"{shown}:{lineno}: {call}() in a coroutine — {label}"
+            )
+    return violations
+
+
+def main() -> int:
+    violations = lint()
+    if violations:
+        print("async-path lint failed (DESIGN.md §13):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            "\nAwait the async twin instead, or — for the sanctioned "
+            "sync delegation under _defer_delay — mark the line "
+            f"'{ALLOW_MARKER} <reason>'.",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"async-path lint OK: no blocking calls in "
+        f"{SCOPE.relative_to(REPO)} coroutines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
